@@ -1,0 +1,37 @@
+// Command peak-consistency regenerates the paper's Table 1: the rating
+// consistency (mean and standard deviation of rating errors, ×100) of the
+// consultant-chosen method for every benchmark, across window sizes
+// w = 10, 20, 40, 80, 160.
+//
+// Usage:
+//
+//	peak-consistency [-machine sparc2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peak"
+	"peak/internal/experiments"
+)
+
+func main() {
+	machName := flag.String("machine", "sparc2", `machine: "sparc2" or "p4"`)
+	flag.Parse()
+
+	m, ok := peak.MachineByName(*machName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "peak-consistency: unknown machine %q\n", *machName)
+		os.Exit(1)
+	}
+	rows, err := peak.Table1(m, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Table 1: consistency of rating approaches on %s\n", m.Name)
+	fmt.Println("(numbers are Mean(StdDev) of the rating error, multiplied by 100)")
+	fmt.Print(experiments.FormatTable1(rows, experiments.PaperWindows))
+}

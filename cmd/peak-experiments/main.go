@@ -1,0 +1,60 @@
+// Command peak-experiments regenerates the paper's Figure 7: performance
+// improvement over "-O3" (panels a, b) and tuning time normalized to the
+// whole-program WHL baseline (panels c, d), for SWIM, MGRID, ART and EQUAKE
+// under every forceable rating method plus the WHL and AVG baselines.
+//
+// Usage:
+//
+//	peak-experiments                  # both machines (fig 7 a–d)
+//	peak-experiments -machine p4      # one machine
+//	peak-experiments -headline        # the abstract's summary numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peak"
+	"peak/internal/experiments"
+)
+
+func main() {
+	machName := flag.String("machine", "", `machine: "sparc2", "p4", or empty for both`)
+	headline := flag.Bool("headline", false, "also print the paper-abstract summary numbers")
+	flag.Parse()
+
+	var machines []*peak.Machine
+	switch *machName {
+	case "":
+		machines = []*peak.Machine{peak.SPARCII(), peak.PentiumIV()}
+	default:
+		m, ok := peak.MachineByName(*machName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "peak-experiments: unknown machine %q\n", *machName)
+			os.Exit(1)
+		}
+		machines = []*peak.Machine{m}
+	}
+
+	var all []peak.Fig7Entry
+	for _, m := range machines {
+		entries, err := peak.Figure7(m, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatFigure7(entries, m.Name))
+		fmt.Println()
+		all = append(all, entries...)
+	}
+
+	if *headline {
+		h := experiments.Summarize(all)
+		fmt.Printf("Headline (PEAK-chosen methods, tuned on train):\n")
+		fmt.Printf("  performance improvement: up to %.0f%% (%.0f%% on average)\n",
+			100*h.MaxImprovement, 100*h.AvgImprovement)
+		fmt.Printf("  tuning-time reduction vs WHL: up to %.0f%% (%.0f%% on average)\n",
+			100*h.MaxReduction, 100*h.AvgReduction)
+	}
+}

@@ -1,0 +1,120 @@
+// Command peak tunes one workload benchmark on a simulated machine with the
+// PEAK engine and reports the winning flag combination and its measured
+// improvement over "-O3".
+//
+// Usage:
+//
+//	peak -bench ART -machine p4 [-method RBR] [-dataset train] [-v]
+//	peak -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peak"
+	"peak/internal/opt"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "ART", "benchmark name (see -list)")
+		machName  = flag.String("machine", "p4", `machine: "sparc2" or "p4"`)
+		method    = flag.String("method", "", "force rating method (CBR, MBR, RBR, AVG, WHL); empty = consultant choice")
+		dataset   = flag.String("dataset", "train", `tuning dataset: "train" or "ref"`)
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		listFlags = flag.Bool("list-flags", false, "list the 38 tunable optimization flags and exit")
+		verbose   = flag.Bool("v", false, "print profile and consultant details")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available benchmarks (paper Table 1):")
+		for _, b := range peak.Benchmarks() {
+			fmt.Printf("  %-8s %-18s %s  (paper: %s invocations)\n",
+				b.Name, b.TSName, b.Class, b.PaperInvocations)
+		}
+		return
+	}
+	if *listFlags {
+		fmt.Println("The 38 -O3 optimization flags PEAK tunes (GCC 3.3 names):")
+		for _, f := range opt.AllFlags() {
+			fmt.Printf("  -f%-26s %s\n", f.String(), opt.FlagDoc(f))
+		}
+		return
+	}
+
+	b, ok := peak.BenchmarkByName(*benchName)
+	if !ok {
+		fatalf("unknown benchmark %q (try -list)", *benchName)
+	}
+	m, ok := peak.MachineByName(*machName)
+	if !ok {
+		fatalf("unknown machine %q", *machName)
+	}
+	ds := b.Train
+	if *dataset == "ref" {
+		ds = b.Ref
+	}
+
+	cfg := peak.DefaultConfig()
+	prof, err := peak.ProfileBenchmark(b, m)
+	if err != nil {
+		fatalf("profile: %v", err)
+	}
+	app := peak.Consult(prof, &cfg)
+	if *verbose {
+		fmt.Printf("profile: %d invocations, %d contexts (dominant share %.1f%%), mean %.0f cycles\n",
+			prof.Invocations, prof.NumContexts(), 100*prof.DominantShare(), prof.MeanCycles)
+		if prof.Model != nil {
+			fmt.Printf("model: %d components, profile fit VAR %.4f\n",
+				len(prof.Model.Components), prof.ModelVar)
+		}
+		fmt.Printf("consultant: applicable methods %s", app)
+		if app.CBRReason != "" {
+			fmt.Printf(" (CBR rejected: %s)", app.CBRReason)
+		}
+		if app.MBRReason != "" {
+			fmt.Printf(" (MBR rejected: %s)", app.MBRReason)
+		}
+		fmt.Println()
+	}
+
+	var res *peak.TuneResult
+	if *method == "" {
+		res, err = peak.TuneBenchmark(b, m, &cfg)
+	} else {
+		mm, ok := peak.ParseMethodName(*method)
+		if !ok {
+			fatalf("unknown method %q", *method)
+		}
+		res, err = peak.TuneWithMethod(b, m, mm, ds, &cfg)
+	}
+	if err != nil {
+		fatalf("tune: %v", err)
+	}
+
+	fmt.Printf("benchmark:      %s/%s on %s\n", b.Name, b.TSName, m.Name)
+	fmt.Printf("rating method:  %s (switches: %d)\n", res.MethodUsed, res.MethodSwitches)
+	fmt.Printf("flags removed:  %v\n", res.Removed)
+	fmt.Printf("best flags:     %s\n", res.Best)
+	fmt.Printf("tuning cost:    %d simulated cycles, %d program runs, %d versions rated\n",
+		res.TuningCycles, res.ProgramRuns, res.VersionsRated)
+
+	base, _, err := peak.Measure(b, b.Ref, m, peak.O3())
+	if err != nil {
+		fatalf("measure base: %v", err)
+	}
+	tuned, _, err := peak.Measure(b, b.Ref, m, res.Best)
+	if err != nil {
+		fatalf("measure tuned: %v", err)
+	}
+	fmt.Printf("ref performance: -O3 %d cycles, tuned %d cycles, improvement %.1f%%\n",
+		base, tuned, 100*peak.Improvement(base, tuned))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peak: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,241 @@
+// adaptive: the paper's online/adaptive scenario (§2.2, §6).
+//
+// "The best versions for different contexts may be different, in which case
+// CBR reports the context-specific winners. [...] an adaptive tuning
+// scenario would make use of all versions."
+//
+// This example builds a custom benchmark whose tuning section is invoked
+// under two very different contexts — short vectors (n=6) and long vectors
+// (n=220) — where the profitable flag sets diverge (loop unrolling pays on
+// long trips and costs on short ones). It tunes each context separately
+// with CBR, then simulates the production run twice: once with the single
+// global winner (offline tuning) and once with an adaptive dispatcher that
+// swaps in each context's own winner, the ADAPT-style dynamic mechanism of
+// paper Figure 6.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"peak"
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/profiling"
+	"peak/internal/sim"
+)
+
+// buildBenchmark constructs a two-context workload whose contexts execute
+// different code paths with different optimal flags:
+//
+//   - mode 0 (dense axpy/norm over a long vector): "-O3" is already right;
+//   - mode 1 (a reduction whose branch is highly predictable because the
+//     gate array is all-positive): if-conversion *hurts* — the converted
+//     select executes the expensive sqrt arm every iteration where the
+//     branch predictor would have been nearly free.
+//
+// The offline global winner is tuned for the time-dominant context, so the
+// adaptive per-context dispatch recovers the mode-1 loss.
+func buildBenchmark() *peak.Benchmark {
+	prog := ir.NewProgram()
+	prog.AddArray("vx", ir.F64, 256)
+	prog.AddArray("vy", ir.F64, 256)
+	prog.AddArray("vz", ir.F64, 256)
+	b := irbuild.NewFunc("phase")
+	b.ScalarParam("mode", ir.I64).ScalarParam("n", ir.I64).ScalarParam("a", ir.F64).Local("s", ir.F64)
+	fn := b.Body(
+		b.IfElse(b.Eq(b.V("mode"), b.I(0)),
+			b.Stmts(
+				b.For("i", b.I(0), b.V("n"), 1,
+					b.Set(b.At("vy", b.V("i")),
+						b.FAdd(b.At("vy", b.V("i")), b.FMul(b.V("a"), b.At("vx", b.V("i"))))),
+					b.Set(b.V("s"), b.FAdd(b.V("s"),
+						b.FMul(b.At("vy", b.V("i")), b.At("vy", b.V("i"))))),
+				),
+			),
+			b.Stmts(
+				b.For("i", b.I(0), b.V("n"), 1,
+					b.IfElse(b.FGt(b.At("vz", b.V("i")), b.F(0)),
+						b.Stmts(b.Set(b.V("s"),
+							b.FAdd(b.V("s"), b.Call("sqrt", b.At("vz", b.V("i")))))),
+						b.Stmts(b.Set(b.V("s"),
+							b.FSub(b.V("s"), b.FMul(b.At("vz", b.V("i")), b.V("a"))))),
+					),
+				),
+			),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+
+	setup := func(mem *sim.Memory, rng *rand.Rand) {
+		for _, a := range []string{"vx", "vy"} {
+			d := mem.Get(a).Data
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+		}
+		vz := mem.Get("vz").Data
+		for i := range vz {
+			vz[i] = rng.Float64() + 0.1 // all positive: predictable branch
+		}
+	}
+	args := func(i int, mem *sim.Memory, rng *rand.Rand) []float64 {
+		// Two contexts; the dense one dominates total time.
+		if i%3 == 0 {
+			return []float64{0, 220, 0.5}
+		}
+		return []float64{1, 70, 0.5}
+	}
+	mkDS := func(name string, inv int) *bench.Dataset {
+		return &bench.Dataset{Name: name, NumInvocations: inv, Setup: setup, Args: args}
+	}
+	return &bench.Benchmark{
+		Name: "PHASE", TSName: "phase", Class: bench.FP,
+		Prog: prog, TS: fn,
+		Train: mkDS("train", 3000), Ref: mkDS("ref", 6000),
+		NonTSCycles:      500_000,
+		PaperInvocations: "(custom)",
+	}
+}
+
+func main() {
+	b := buildBenchmark()
+	if err := peak.Validate(b); err != nil {
+		log.Fatal(err)
+	}
+	m := machine.PentiumIV()
+	cfg := core.DefaultConfig()
+
+	prof, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s has %d contexts:\n", b.Name, b.TSName, prof.NumContexts())
+
+	// Stable context order, largest share of time first.
+	keys := make([]string, 0, len(prof.Contexts))
+	for k := range prof.Contexts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, bb := prof.Contexts[keys[i]], prof.Contexts[keys[j]]
+		if a.TotalCycles != bb.TotalCycles {
+			return a.TotalCycles > bb.TotalCycles
+		}
+		return keys[i] < keys[j]
+	})
+
+	// Tune once per context: CBR with that context as the target.
+	winners := map[string]opt.FlagSet{}
+	force := core.MethodCBR
+	for ci, key := range keys {
+		p := *prof
+		p.DominantContext = key
+		tu := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: cfg, Profile: &p, Force: &force}
+		res, err := tu.Tune()
+		if err != nil {
+			log.Fatal(err)
+		}
+		winners[key] = res.Best
+		st := prof.Contexts[key]
+		fmt.Printf("  context %d: %5.1f%% of invocations, winner removes %v\n",
+			ci+1, 100*float64(st.Count)/float64(prof.Invocations), res.Removed)
+	}
+
+	// Global offline winner: tuned against the dominant context only.
+	tu := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: cfg, Profile: prof, Force: &force}
+	globalRes, err := tu.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  global winner (dominant context only) removes %v\n", globalRes.Removed)
+
+	globalCycles, err := runProduction(b, m, prof, func(string) opt.FlagSet { return globalRes.Best })
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptiveCycles, err := runProduction(b, m, prof, func(key string) opt.FlagSet {
+		if fs, ok := winners[key]; ok {
+			return fs
+		}
+		return globalRes.Best
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nproduction run (ref dataset, %d invocations):\n", b.Ref.NumInvocations)
+	fmt.Printf("  single global winner: %d cycles\n", globalCycles)
+	fmt.Printf("  adaptive per-context: %d cycles (%.2f%% faster than global)\n",
+		adaptiveCycles, 100*(float64(globalCycles)/float64(adaptiveCycles)-1))
+
+	// Fully online variant: no offline tuning at all — the core
+	// AdaptiveTuner explores while the production run executes (§6).
+	at, err := peak.NewAdaptiveTuner(b, m, &cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at.Window = 12
+	onlineRes, err := at.Run(b.Ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o3Only, err := runProduction(b, m, prof, func(string) opt.FlagSet { return opt.O3() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfully online tuning (no offline phase):\n")
+	fmt.Printf("  -O3 throughout:        %d cycles\n", o3Only)
+	fmt.Printf("  online adaptive total: %d cycles (exploration included, %.2f%% vs -O3)\n",
+		onlineRes.TotalCycles, 100*(float64(o3Only)/float64(onlineRes.TotalCycles)-1))
+	fmt.Printf("  %d contexts, %d variants tried, %d adoptions\n",
+		onlineRes.ContextsSeen, onlineRes.VersionsTried, onlineRes.Adoptions)
+}
+
+// runProduction executes the ref dataset, selecting the version for each
+// invocation by its runtime context key — the ADAPT-style dynamic swap.
+func runProduction(b *peak.Benchmark, m *machine.Machine, prof *profiling.Profile,
+	pick func(key string) opt.FlagSet) (int64, error) {
+	versions := map[opt.FlagSet]*sim.Version{}
+	version := func(fs opt.FlagSet) (*sim.Version, error) {
+		if v, ok := versions[fs]; ok {
+			return v, nil
+		}
+		v, err := opt.Compile(b.Prog, b.TS, fs, m)
+		if err != nil {
+			return nil, err
+		}
+		versions[fs] = v
+		return v, nil
+	}
+	rng := rand.New(rand.NewSource(b.Seed(31)))
+	mem := sim.NewMemory(b.Prog)
+	if b.Ref.Setup != nil {
+		b.Ref.Setup(mem, rng)
+	}
+	runner := sim.NewRunner(m, mem, b.Seed(37))
+	var total int64
+	for i := 0; i < b.Ref.NumInvocations; i++ {
+		args := b.Ref.Args(i, mem, rng)
+		key := prof.CBRKeyFor(b, args, mem)
+		v, err := version(pick(key))
+		if err != nil {
+			return 0, err
+		}
+		_, st, err := runner.Run(v, args)
+		if err != nil {
+			return 0, err
+		}
+		total += st.Cycles
+	}
+	return total, nil
+}

@@ -1,0 +1,154 @@
+// MBR worked example: reproduces the paper's Figure 2.
+//
+// A tuning section with two components — a loop body entered N times per
+// invocation and a tail entered once — is invoked with varying N. The
+// rating system gathers the TS-invocation-time vector Y and the
+// component-count matrix C, and linear regression over Y = T·C recovers
+// the component-time vector T (the paper's example yields T = [110.05,
+// 3.75]).
+//
+// This example builds that situation twice: first with the paper's literal
+// numbers, then live — running a real two-component kernel on the
+// simulated machine, instrumenting it with counters, and solving for T.
+//
+//	go run ./examples/mbr-regression
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"peak/internal/analysis"
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/regress"
+	"peak/internal/sim"
+)
+
+func main() {
+	paperExample()
+	liveExample()
+}
+
+// paperExample solves Figure 2's literal system.
+func paperExample() {
+	y := []float64{11015, 5508, 6626, 6044, 8793}
+	c := [][]float64{
+		{100, 1}, {50, 1}, {60, 1}, {55, 1}, {80, 1},
+	}
+	res, err := regress.Solve(c, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Paper Figure 2:")
+	fmt.Printf("  Y = %v\n", y)
+	fmt.Printf("  T = [%.2f  %.2f]   (paper: [110.05  3.75])\n", res.Coef[0], res.Coef[1])
+	fmt.Printf("  dominant component rating: T1 = %.2f\n\n", res.Coef[0])
+}
+
+// liveExample builds the same shape as real code and lets the pipeline
+// (instrumentation, component merging, regression) do the work.
+func liveExample() {
+	prog := ir.NewProgram()
+	prog.AddArray("data", ir.F64, 256)
+	b := irbuild.NewFunc("ts")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		// Component 1: the loop body, N entries per invocation.
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.FMul(b.At("data", b.V("i")), b.F(1.0001)))),
+		),
+		// Component 2: the tail code, one entry per invocation.
+		b.Set(b.At("data", b.I(0)), b.Call("sqrt", b.Call("abs", b.V("s")))),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+
+	// Instrument with counters, then merge components from a profile.
+	instr := analysis.Instrument(fn)
+	prog.AddFunc(instr)
+	m := machine.SPARCII()
+	v, err := opt.Compile(prog, instr, opt.O3(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mem := sim.NewMemory(prog)
+	rng := rand.New(rand.NewSource(42))
+	for i := range mem.Get("data").Data {
+		mem.Get("data").Data[i] = rng.Float64()
+	}
+	runner := sim.NewRunner(m, mem, 7)
+	clock := sim.NewClock(m, 11)
+
+	// Warm the cache so per-entry component times are stationary (the
+	// tuning system sees steady-state invocations; cold-start rows would
+	// bias the regression).
+	for i := 0; i < 3; i++ {
+		if _, _, err := runner.Run(v, []float64{256}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	trips := []float64{100, 50, 60, 55, 80, 120, 90, 70, 40, 110, 65, 85}
+	var counterRows [][]float64
+	var rawCounts [][]int64
+	var times []float64
+	for _, n := range trips {
+		_, st, err := runner.Run(v, []float64{n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := make([]float64, len(st.Counters))
+		for i, c := range st.Counters {
+			row[i] = float64(c)
+		}
+		counterRows = append(counterRows, row)
+		rawCounts = append(rawCounts, st.Counters)
+		times = append(times, clock.Measure(st.Cycles))
+	}
+
+	model, err := analysis.MergeComponents(counterRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Live two-component kernel:")
+	fmt.Printf("  counters inserted: %d, merged into %d components\n",
+		instr.NumCounters, len(model.Components))
+
+	c := make([][]float64, len(times))
+	for i := range times {
+		c[i] = model.CountsFor(rawCounts[i])
+	}
+	res, err := regress.Solve(c, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  T = %v cycles per component entry\n", formatCoefs(res.Coef))
+	fmt.Printf("  fit: SSR/SST = %.4f (MBR's VAR, paper §3)\n", res.VarRatio())
+	fmt.Printf("  T_avg estimate per invocation = %.0f cycles\n", tAvg(res.Coef, c))
+}
+
+func formatCoefs(coefs []float64) string {
+	out := "["
+	for i, v := range coefs {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%.2f", v)
+	}
+	return out + "]"
+}
+
+func tAvg(coefs []float64, rows [][]float64) float64 {
+	avg := 0.0
+	for _, row := range rows {
+		for i, c := range row {
+			avg += coefs[i] * c
+		}
+	}
+	return avg / float64(len(rows))
+}

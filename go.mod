@@ -1,0 +1,3 @@
+module peak
+
+go 1.22

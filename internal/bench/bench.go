@@ -1,0 +1,83 @@
+// Package bench defines the benchmark model shared by the profiler, the
+// tuning engine, and the workload definitions: a program with one tuning
+// section, plus datasets that drive its invocations.
+//
+// The paper partitions each SPEC benchmark into tuning sections — "the most
+// time-consuming functions and loops" (§4.1) — and tunes each separately.
+// Here every Benchmark carries its dominant tuning section (the one the
+// paper's Table 1 reports) and two datasets mirroring SPEC's train and ref
+// inputs.
+package bench
+
+import (
+	"math/rand"
+
+	"peak/internal/ir"
+	"peak/internal/sim"
+)
+
+// Class distinguishes the paper's integer and floating-point groups.
+type Class int
+
+// Benchmark classes.
+const (
+	Int Class = iota
+	FP
+)
+
+func (c Class) String() string {
+	if c == FP {
+		return "FP"
+	}
+	return "INT"
+}
+
+// Dataset drives the tuning section through one program run: Setup
+// initializes memory, then the harness calls Args for invocations
+// 0..NumInvocations-1, executing the TS with the returned arguments.
+// Args may also mutate memory to model the surrounding program writing the
+// TS's inputs between invocations.
+type Dataset struct {
+	Name string
+	// NumInvocations is the number of TS invocations in one program run.
+	NumInvocations int
+	// Setup initializes program memory at the start of a run.
+	Setup func(mem *sim.Memory, rng *rand.Rand)
+	// Args produces the scalar arguments of invocation i and performs any
+	// between-invocation memory updates the surrounding program would do.
+	Args func(i int, mem *sim.Memory, rng *rand.Rand) []float64
+}
+
+// Benchmark is one program with its dominant tuning section.
+type Benchmark struct {
+	// Name is the SPEC benchmark name (e.g. "SWIM"); TSName the tuning
+	// section (e.g. "calc3").
+	Name   string
+	TSName string
+	Class  Class
+
+	Prog *ir.Program
+	// TS is the tuning section function (must be Prog.Funcs[TSName]).
+	TS *ir.Func
+
+	Train, Ref *Dataset
+
+	// NonTSCycles approximates the simulated time one program run spends
+	// outside the tuning section (rest of the application plus startup).
+	// It dominates whole-program tuning cost (the WHL baseline).
+	NonTSCycles int64
+
+	// PaperInvocations documents the invocation count the paper reports
+	// for the ref/train run (Table 1, column 4); our datasets scale this
+	// down (DESIGN.md §6).
+	PaperInvocations string
+}
+
+// Seed derives a deterministic per-benchmark RNG seed.
+func (b *Benchmark) Seed(extra int64) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range b.Name + "/" + b.TSName {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h ^ extra
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/sim"
+)
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	a := &Benchmark{Name: "A", TSName: "x"}
+	b := &Benchmark{Name: "B", TSName: "x"}
+	if a.Seed(1) != a.Seed(1) {
+		t.Error("Seed not deterministic")
+	}
+	if a.Seed(1) == a.Seed(2) {
+		t.Error("Seed ignores the extra component")
+	}
+	if a.Seed(1) == b.Seed(1) {
+		t.Error("different benchmarks share a seed")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Int.String() != "INT" || FP.String() != "FP" {
+		t.Errorf("class names: %s/%s", Int, FP)
+	}
+}
+
+func TestCompositeSectionFiltersSchedule(t *testing.T) {
+	prog := ir.NewProgram()
+	fa := irbuild.NewFunc("fa")
+	fa.ScalarParam("x", ir.I64)
+	prog.AddFunc(fa.Body(fa.Ret(fa.V("x"))))
+	fb := irbuild.NewFunc("fb")
+	fb.ScalarParam("x", ir.I64)
+	prog.AddFunc(fb.Body(fb.Ret(fb.Mul(fb.V("x"), fb.I(2)))))
+
+	c := &Composite{
+		Name:           "C",
+		Prog:           prog,
+		Candidates:     []string{"fa", "fb"},
+		NumInvocations: 100,
+		Next: func(i int, mem *sim.Memory, rng *rand.Rand) (string, []float64) {
+			if i%2 == 0 {
+				return "fa", []float64{float64(i)}
+			}
+			return "fb", []float64{float64(i)}
+		},
+		NonTSCycles: 123,
+	}
+	sec := c.Section("fb", Int)
+	if sec.TSName != "fb" || sec.TS != prog.Funcs["fb"] {
+		t.Fatal("wrong section extracted")
+	}
+	if sec.NonTSCycles != 123 {
+		t.Error("non-TS time not propagated")
+	}
+	// The filtered dataset must deliver only fb's arguments (odd i).
+	mem := sim.NewMemory(prog)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		args := sec.Train.Args(i, mem, rng)
+		if int(args[0])%2 == 0 {
+			t.Errorf("invocation %d got fa's args %v", i, args)
+		}
+	}
+}

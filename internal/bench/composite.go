@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"math/rand"
+
+	"peak/internal/ir"
+	"peak/internal/sim"
+)
+
+// Composite describes a whole application containing several candidate
+// tuning sections, driven by one interleaved invocation schedule. It is the
+// input to the TS Selector (paper §4.1: "we choose as TS's the most
+// time-consuming functions and loops, according to the program execution
+// profiles"), which decides which candidates PEAK tunes.
+type Composite struct {
+	Name string
+	Prog *ir.Program
+	// Candidates are the function names eligible to become tuning
+	// sections (each must exist in Prog.Funcs).
+	Candidates []string
+	// NumInvocations is the length of the schedule; Next returns the
+	// function called by invocation i with its arguments.
+	NumInvocations int
+	Setup          func(mem *sim.Memory, rng *rand.Rand)
+	Next           func(i int, mem *sim.Memory, rng *rand.Rand) (fn string, args []float64)
+	// NonTSCycles is the time the program spends outside all candidates.
+	NonTSCycles int64
+}
+
+// Section converts one selected candidate into a standalone Benchmark whose
+// datasets replay only that candidate's invocations from the composite
+// schedule — the paper's "each TS is extracted into a subroutine so that it
+// can be compiled and optimized separately" (§4.1).
+func (c *Composite) Section(name string, class Class) *Benchmark {
+	fn := c.Prog.Funcs[name]
+	filterDS := func(dsName string, scale int) *Dataset {
+		// Pre-scan is impossible without running, so the dataset lazily
+		// skips foreign invocations: Args steps the composite schedule
+		// until it reaches the next invocation of this section.
+		return &Dataset{
+			Name:           dsName,
+			NumInvocations: c.NumInvocations * scale / invocationShareDenom,
+			Setup:          c.Setup,
+			Args: func(i int, mem *sim.Memory, rng *rand.Rand) []float64 {
+				for {
+					fnName, args := c.Next(i, mem, rng)
+					if fnName == name {
+						return args
+					}
+					i++
+				}
+			},
+		}
+	}
+	return &Benchmark{
+		Name:             c.Name + "/" + name,
+		TSName:           name,
+		Class:            class,
+		Prog:             c.Prog,
+		TS:               fn,
+		Train:            filterDS("train", 1),
+		Ref:              filterDS("ref", 2),
+		NonTSCycles:      c.NonTSCycles,
+		PaperInvocations: "(composite)",
+	}
+}
+
+const invocationShareDenom = 2

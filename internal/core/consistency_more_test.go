@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"peak/internal/machine"
+	"peak/internal/profiling"
+	"peak/internal/sim"
+)
+
+// TestConsistencyAVGAndCBRPaths covers the AVG row and the per-context CBR
+// rows of the consistency experiment on a controlled workload.
+func TestConsistencyAVGAndCBRPaths(t *testing.T) {
+	b := tinyBenchmark()
+	m := machine.SPARCII()
+	p, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+
+	avgRows, err := Consistency(b, m, p, MethodAVG, []int{10, 30}, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgRows) != 1 || avgRows[0].Method != MethodAVG {
+		t.Fatalf("AVG rows: %+v", avgRows)
+	}
+	if avgRows[0].Windows[10].N == 0 {
+		t.Error("AVG collected no ratings")
+	}
+
+	cbrRows, err := Consistency(b, m, p, MethodCBR, []int{10, 30}, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One context: a single unlabeled row.
+	if len(cbrRows) != 1 || cbrRows[0].Context != "" {
+		t.Fatalf("CBR rows: %+v", cbrRows)
+	}
+	// With one context AVG and CBR see the same invocations, so their
+	// deviations are comparable (the paper's SWIM/EQUAKE equivalence).
+	aw, cw := avgRows[0].Windows[30], cbrRows[0].Windows[30]
+	if aw.N != cw.N {
+		t.Errorf("AVG and CBR window counts differ on a single context: %d vs %d", aw.N, cw.N)
+	}
+
+	mbrRows, err := Consistency(b, m, p, MethodMBR, []int{10}, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mbrRows) != 1 || mbrRows[0].Windows[10].N == 0 {
+		t.Fatalf("MBR rows: %+v", mbrRows)
+	}
+}
+
+// TestConsistencyMultiContextRows: a workload with three contexts yields
+// labeled per-context rows ordered by total time (the paper's APSI
+// presentation).
+func TestConsistencyMultiContextRows(t *testing.T) {
+	b := tinyBenchmark()
+	sizes := []float64{96, 48, 16}
+	b.Train.Args = func(i int, mem *sim.Memory, rng *rand.Rand) []float64 {
+		return []float64{sizes[i%len(sizes)]}
+	}
+	b.Train.NumInvocations = 900
+	m := machine.SPARCII()
+	p, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumContexts() != 3 {
+		t.Fatalf("contexts = %d, want 3", p.NumContexts())
+	}
+	cfg := DefaultConfig()
+	rows, err := Consistency(b, m, p, MethodCBR, []int{20}, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Context == "" {
+			t.Errorf("row %d missing context label", i)
+		}
+		if r.Windows[20].N == 0 {
+			t.Errorf("row %d (%s) collected no ratings", i, r.Context)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"peak/internal/profiling"
+)
+
+// Applicability is the Rating Approach Consultant's verdict for one tuning
+// section (paper §3, §4.2 step 2): which rating methods apply, why the
+// others do not, and the order in which to try them (least estimated
+// overhead first, "CBR, MBR, RBR, if they are applicable").
+type Applicability struct {
+	// Methods lists the applicable rating methods, cheapest first. RBR is
+	// always present ("applicable to almost all tuning sections", §3).
+	Methods []Method
+	// CBRReason / MBRReason explain rejection (empty when applicable).
+	CBRReason string
+	MBRReason string
+	// EstCost estimates the number of TS executions needed per rating
+	// window under each applicable method (the ordering key).
+	EstCost map[Method]float64
+}
+
+// Chosen returns the consultant's first choice.
+func (a *Applicability) Chosen() Method { return a.Methods[0] }
+
+// Has reports whether m is among the applicable methods.
+func (a *Applicability) Has(m Method) bool {
+	for _, x := range a.Methods {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Applicability) String() string {
+	names := make([]string, len(a.Methods))
+	for i, m := range a.Methods {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// Consult decides method applicability from the compile-time analysis and
+// the profile run:
+//
+//   - CBR requires all context variables to be scalars (Figure 1) — with
+//     non-scalar array dependences allowed only when the profile shows the
+//     array is a run-time constant — plus a reasonable number of contexts
+//     and a dominant context frequent enough to supply samples (§2.2).
+//   - MBR requires few components and a model that actually fits the
+//     profile timings; highly irregular codes (the paper's integer
+//     benchmarks) fail the fit test and fall through to RBR (§2.3, §5.1).
+//   - RBR always applies (our IR has no irreversible side effects; the
+//     paper excludes sections calling malloc/rand/IO, §2.4.1).
+func Consult(p *profiling.Profile, cfg *Config) *Applicability {
+	a := &Applicability{EstCost: map[Method]float64{}}
+	w := float64(cfg.Window)
+
+	cbrOK := true
+	switch {
+	case !p.ContextSet.Applicable:
+		cbrOK = false
+		a.CBRReason = p.ContextSet.Reason
+		if a.CBRReason == "" {
+			a.CBRReason = "non-scalar context variables"
+		}
+	case !p.ContextArraysConst:
+		cbrOK = false
+		a.CBRReason = fmt.Sprintf("control flow depends on arrays %v that change between invocations",
+			p.ContextSet.NeedConstArrays)
+	case p.NumContexts() == 0:
+		cbrOK = false
+		a.CBRReason = "no contexts observed"
+	case p.NumContexts() > cfg.MaxContexts:
+		cbrOK = false
+		a.CBRReason = fmt.Sprintf("too many contexts (%d > %d)", p.NumContexts(), cfg.MaxContexts)
+	case p.DominantShare() < cfg.MinDominantShare:
+		cbrOK = false
+		a.CBRReason = fmt.Sprintf("dominant context covers only %.1f%% of invocations",
+			100*p.DominantShare())
+	}
+	if cbrOK {
+		// A rating window needs w samples of the dominant context; other
+		// invocations execute without contributing.
+		a.EstCost[MethodCBR] = w / p.DominantShare()
+	}
+
+	mbrOK := true
+	switch {
+	case p.Model == nil:
+		mbrOK = false
+		a.MBRReason = "no component model"
+	case p.Model.ConstantOnly():
+		// All counts constant: the model degenerates to plain averaging,
+		// which is sound when the workload never varies (single context).
+	case len(p.Model.Components) > cfg.MaxComponents:
+		mbrOK = false
+		a.MBRReason = fmt.Sprintf("too many components (%d > %d)",
+			len(p.Model.Components), cfg.MaxComponents)
+	case p.ModelVar > cfg.MBRMaxProfileVar:
+		mbrOK = false
+		a.MBRReason = fmt.Sprintf("model residual variance %.3f exceeds %.3f (irregular code)",
+			p.ModelVar, cfg.MBRMaxProfileVar)
+	}
+	if mbrOK {
+		need := 3 * float64(len(p.Model.Components)+1)
+		if w > need {
+			need = w
+		}
+		a.EstCost[MethodMBR] = need
+	}
+
+	// RBR: per rated invocation the TS runs three times (precondition +
+	// two timed versions) plus save/restore traffic.
+	rbrPerInv := 3.0
+	if p.MeanCycles > 0 {
+		rbrPerInv += 2 * float64(cfg.SaveRestoreCyclesPerElem) * float64(p.ModifiedInputElems) / p.MeanCycles
+	}
+	a.EstCost[MethodRBR] = w * rbrPerInv
+
+	// "Our compiler picks the initial rating approach for each tuning
+	// section in the order of CBR, MBR, and RBR, if they are applicable"
+	// (§3) — the applicability guards above already encode the overhead
+	// reasoning (context counts, dominant share, component counts, fit).
+	for _, m := range []Method{MethodCBR, MethodMBR, MethodRBR} {
+		if _, ok := a.EstCost[m]; ok {
+			a.Methods = append(a.Methods, m)
+		}
+	}
+	return a
+}

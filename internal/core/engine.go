@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"peak/internal/analysis"
+	"peak/internal/bench"
+	"peak/internal/ir"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/profiling"
+	"peak/internal/sim"
+)
+
+// Tuner drives the PEAK offline tuning of one benchmark's tuning section on
+// one machine (paper §4.2): it compiles experimental versions, rates them
+// with the selected rating method while the application runs over the
+// tuning dataset, and searches the flag space with Iterative Elimination.
+type Tuner struct {
+	Bench   *bench.Benchmark
+	Mach    *machine.Machine
+	Dataset *bench.Dataset
+	Cfg     Config
+	Profile *profiling.Profile
+
+	// Force pins the rating method (used by the Figure-7 method-comparison
+	// experiments); leave nil for the consultant's automatic choice with
+	// runtime switching.
+	Force *Method
+}
+
+// TuneResult reports a finished tuning process.
+type TuneResult struct {
+	Best opt.FlagSet
+	// MethodUsed is the rating method that produced the final decisions
+	// (after any runtime switches); MethodSwitches counts switches.
+	MethodUsed     Method
+	MethodSwitches int
+	// TuningCycles is the simulated time of the whole tuning process:
+	// every executed TS invocation (including RBR's re-executions,
+	// preconditioning and save/restore overheads) plus the non-TS part of
+	// every program run consumed. Figure 7(c,d) normalizes this to WHL.
+	TuningCycles int64
+	// ProgramRuns is the number of application runs consumed.
+	ProgramRuns int
+	// Invocations is the number of TS invocations executed.
+	Invocations int64
+	// VersionsRated counts distinct flag combinations rated; Rounds the
+	// Iterative Elimination rounds; Removed the flags switched off.
+	VersionsRated int
+	Rounds        int
+	Removed       []opt.Flag
+}
+
+// engine is the running state of one tuning process.
+type engine struct {
+	t       *Tuner
+	cfg     *Config
+	methods []Method
+	mi      int // index into methods
+	app     *Applicability
+
+	prog *ir.Program // program with the instrumented TS
+	ts   *ir.Func    // instrumented tuning section
+
+	versions map[opt.FlagSet]*sim.Version
+
+	mem    *sim.Memory
+	runner *sim.Runner
+	clock  *sim.Clock
+	rng    *rand.Rand
+
+	runActive bool
+	dsIdx     int
+
+	res      *TuneResult
+	switched int
+}
+
+// Tune runs the complete offline tuning process.
+func (t *Tuner) Tune() (*TuneResult, error) {
+	e, err := t.newEngine()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.iterativeElimination(); err != nil {
+		return nil, err
+	}
+	e.finishRun()
+	e.res.MethodUsed = e.methods[e.mi]
+	e.res.MethodSwitches = e.switched
+	return e.res, nil
+}
+
+func (t *Tuner) newEngine() (*engine, error) {
+	cfg := t.Cfg
+	e := &engine{
+		t:        t,
+		cfg:      &cfg,
+		versions: map[opt.FlagSet]*sim.Version{},
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ t.Bench.Seed(1))),
+		res:      &TuneResult{},
+	}
+
+	e.app = Consult(t.Profile, &cfg)
+	if t.Force != nil {
+		e.methods = []Method{*t.Force}
+	} else {
+		e.methods = append([]Method(nil), e.app.Methods...)
+	}
+
+	// The tuning build keeps only the counters the component model needs
+	// ("the unnecessary instrumentation code for the merged blocks is
+	// removed", §2.3); other methods strip all counters.
+	instr := analysis.Instrument(t.Bench.TS)
+	keep := map[int]bool{}
+	if t.Profile.Model != nil {
+		keep = t.Profile.Model.KeepCounters
+	}
+	e.ts = analysis.StripCounters(instr, keep)
+	e.prog = t.Bench.Prog.Clone()
+	e.prog.AddFunc(e.ts)
+
+	e.mem = sim.NewMemory(e.prog)
+	e.runner = sim.NewRunner(t.Mach, e.mem, cfg.Seed^t.Bench.Seed(7))
+	e.clock = sim.NewClock(t.Mach, cfg.Seed^t.Bench.Seed(13))
+	return e, nil
+}
+
+func (e *engine) version(fs opt.FlagSet) (*sim.Version, error) {
+	if v, ok := e.versions[fs]; ok {
+		return v, nil
+	}
+	v, err := opt.Compile(e.prog, e.ts, fs, e.t.Mach)
+	if err != nil {
+		return nil, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+	}
+	e.versions[fs] = v
+	return v, nil
+}
+
+func (e *engine) newRater(m Method) rater {
+	switch m {
+	case MethodAVG:
+		return &avgRater{cfg: e.cfg}
+	case MethodCBR:
+		return &cbrRater{cfg: e.cfg, target: e.t.Profile.DominantContext}
+	case MethodMBR:
+		return newMBRRater(e.t.Profile.Model, e.t.Profile.CAvg, nil, e.cfg)
+	case MethodRBR:
+		r := &rbrRater{
+			cfg:           e.cfg,
+			modifiedInput: e.t.Profile.Effects.ModifiedInput(),
+			saveElems:     int64(e.t.Profile.ModifiedInputElems),
+			improved:      !e.cfg.BasicRBR,
+			inspector:     e.cfg.RBRInspector && !e.cfg.BasicRBR,
+		}
+		if e.cfg.BasicRBR {
+			// The basic method saves the whole Input(TS), not just the
+			// modified part (Figure 3 step 1 vs Eq. 6).
+			r.modifiedInput = nil
+			r.saveElems = 0
+			for arr := range e.t.Profile.Effects.Reads {
+				r.modifiedInput = append(r.modifiedInput, arr)
+				if a := e.mem.Get(arr); a != nil {
+					r.saveElems += int64(len(a.Data))
+				}
+			}
+			sort.Strings(r.modifiedInput)
+		}
+		return r
+	}
+	panic("core: newRater called for " + m.String())
+}
+
+// startRun begins a fresh application run over the tuning dataset.
+func (e *engine) startRun() {
+	ds := e.t.Dataset
+	e.runner.ResetMicroarch()
+	if ds.Setup != nil {
+		ds.Setup(e.mem, e.rng)
+	}
+	e.dsIdx = 0
+	e.runActive = true
+}
+
+// finishRun accounts the non-TS portion of a consumed application run.
+func (e *engine) finishRun() {
+	if e.runActive {
+		e.res.TuningCycles += e.t.Bench.NonTSCycles
+		e.res.ProgramRuns++
+		e.runActive = false
+	}
+}
+
+// nextInvocation yields the arguments (and CBR key) of the next TS
+// invocation, starting a new program run when the dataset is exhausted.
+func (e *engine) nextInvocation(needKey bool) (args []float64, key string) {
+	if !e.runActive || e.dsIdx >= e.t.Dataset.NumInvocations {
+		e.finishRun()
+		e.startRun()
+	}
+	args = e.t.Dataset.Args(e.dsIdx, e.mem, e.rng)
+	e.dsIdx++
+	if needKey {
+		key = e.t.Profile.CBRKeyFor(e.t.Bench, args, e.mem)
+	}
+	return args, key
+}
+
+// errMethodExhausted reports that no applicable rating method converged.
+var errMethodExhausted = fmt.Errorf("core: all rating methods failed to converge")
+
+// rate rates the experimental flag set against the base flag set using the
+// current method, switching to the next applicable method if convergence
+// is not reached within the invocation budget (§3).
+func (e *engine) rate(exp, base opt.FlagSet) (Rating, error) {
+	if e.methods[e.mi] == MethodWHL {
+		return e.rateWHL(exp)
+	}
+	for {
+		m := e.methods[e.mi]
+		r, ok, err := e.rateWith(m, exp, base)
+		if err != nil {
+			return Rating{}, err
+		}
+		if ok {
+			return r, nil
+		}
+		// Not converging: switch to the next applicable method.
+		if e.mi+1 >= len(e.methods) {
+			// Last resort: accept the unconverged rating.
+			return r, nil
+		}
+		e.mi++
+		e.switched++
+	}
+}
+
+func (e *engine) rateWith(m Method, exp, base opt.FlagSet) (Rating, bool, error) {
+	expV, err := e.version(exp)
+	if err != nil {
+		return Rating{}, false, err
+	}
+	baseV, err := e.version(base)
+	if err != nil {
+		return Rating{}, false, err
+	}
+	r := e.newRater(m)
+	needKey := m == MethodCBR
+	checkEvery := e.cfg.Window / 8
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	for r.used() < e.cfg.MaxInvPerVersion {
+		args, key := e.nextInvocation(needKey)
+		ic := &invocation{
+			args: args, key: key,
+			runner: e.runner, clock: e.clock, mem: e.mem,
+			best: baseV, exp: expV,
+		}
+		cycles, err := r.observe(ic)
+		e.res.TuningCycles += cycles
+		e.res.Invocations++
+		if err != nil {
+			return Rating{}, false, fmt.Errorf("tune %s [%s]: %w", e.t.Bench.Name, m, err)
+		}
+		if r.used()%checkEvery == 0 && r.converged(e.cfg) {
+			e.res.VersionsRated++
+			return r.rating(), true, nil
+		}
+	}
+	e.res.VersionsRated++
+	return r.rating(), false, nil
+}
+
+// rateWHL times one whole application run per version — the
+// state-of-the-art baseline ("executing the whole program to rate one
+// version", §1). Any in-progress run is completed for the previous rater
+// first; WHL then consumes dedicated runs.
+func (e *engine) rateWHL(exp opt.FlagSet) (Rating, error) {
+	expV, err := e.version(exp)
+	if err != nil {
+		return Rating{}, err
+	}
+	e.finishRun()
+	ds := e.t.Dataset
+	e.runner.ResetMicroarch()
+	if ds.Setup != nil {
+		ds.Setup(e.mem, e.rng)
+	}
+	var total int64
+	var measured float64
+	for i := 0; i < ds.NumInvocations; i++ {
+		args := ds.Args(i, e.mem, e.rng)
+		_, st, err := e.runner.Run(expV, args)
+		if err != nil {
+			return Rating{}, fmt.Errorf("tune %s [WHL]: %w", e.t.Bench.Name, err)
+		}
+		total += st.Cycles
+		measured += e.clock.Measure(st.Cycles)
+		e.res.Invocations++
+	}
+	e.res.TuningCycles += total + e.t.Bench.NonTSCycles
+	e.res.ProgramRuns++
+	e.res.VersionsRated++
+	// Per-invocation jitter largely averages out over a whole run, which
+	// is what makes WHL "the best that can be achieved by static tuning"
+	// (§5.2) — just extremely slow.
+	return Rating{Method: MethodWHL, EVAL: measured + float64(e.t.Bench.NonTSCycles),
+		Samples: ds.NumInvocations}, nil
+}
+
+// iterativeElimination searches the flag space (paper §5.2, algorithm from
+// [11]): starting from -O3, each round rates every remaining flag switched
+// off and permanently removes the flag whose removal helps most, until no
+// removal improves the rating by more than the threshold.
+func (e *engine) iterativeElimination() error {
+	const maxRounds = 8
+	current := opt.O3()
+	candidates := opt.AllFlags()
+
+	baseEval, err := e.baseEval(current)
+	if err != nil {
+		return err
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		e.res.Rounds = round + 1
+		bestIdx := -1
+		bestImp := e.cfg.ImprovementThreshold
+		for i := 0; i < len(candidates); i++ {
+			f := candidates[i]
+			miBefore := e.mi
+			r, err := e.rate(current.Without(f), current)
+			if err != nil {
+				return err
+			}
+			if e.mi != miBefore {
+				// The rating method switched mid-round; the base rating's
+				// units no longer match. Re-establish the base and re-rate
+				// this flag under the new method.
+				baseEval, err = e.baseEval(current)
+				if err != nil {
+					return err
+				}
+				i--
+				continue
+			}
+			imp := r.ImprovementOver(baseEval)
+			if imp > bestImp {
+				bestImp, bestIdx = imp, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		f := candidates[bestIdx]
+		current = current.Without(f)
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+		e.res.Removed = append(e.res.Removed, f)
+		baseEval, err = e.baseEval(current)
+		if err != nil {
+			return err
+		}
+	}
+	e.res.Best = current
+	return nil
+}
+
+// baseEval obtains the absolute rating of the current base version, needed
+// to express other versions' ratings as improvements (RBR rates relative
+// improvement directly and needs no base measurement).
+func (e *engine) baseEval(base opt.FlagSet) (float64, error) {
+	m := e.methods[e.mi]
+	if m == MethodRBR {
+		return math.NaN(), nil
+	}
+	r, err := e.rate(base, base)
+	if err != nil {
+		return 0, err
+	}
+	// A method switch may have happened inside rate; if we are now on
+	// RBR, the base eval is unused.
+	if e.methods[e.mi] == MethodRBR {
+		return math.NaN(), nil
+	}
+	return r.EVAL, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peak/internal/bench"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/sim"
+)
+
+// MeasurePerformance runs the benchmark's tuning section over the dataset
+// with the given flags and returns the deterministic total TS cycles plus
+// the whole-program total (TS + non-TS). The tuned code is the plain
+// section, "absent of any instrumentation code" (§4.2).
+func MeasurePerformance(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
+	flags opt.FlagSet) (tsCycles, programCycles int64, err error) {
+	v, err := opt.Compile(b.Prog, b.TS, flags, m)
+	if err != nil {
+		return 0, 0, fmt.Errorf("measure %s: %w", b.Name, err)
+	}
+	rng := rand.New(rand.NewSource(b.Seed(31)))
+	mem := sim.NewMemory(b.Prog)
+	if ds.Setup != nil {
+		ds.Setup(mem, rng)
+	}
+	runner := sim.NewRunner(m, mem, b.Seed(37))
+	for i := 0; i < ds.NumInvocations; i++ {
+		args := ds.Args(i, mem, rng)
+		_, st, err := runner.Run(v, args)
+		if err != nil {
+			return 0, 0, fmt.Errorf("measure %s [%s] invocation %d: %w", b.Name, flags, i, err)
+		}
+		tsCycles += st.Cycles
+	}
+	return tsCycles, tsCycles + b.NonTSCycles, nil
+}
+
+// Improvement returns the relative performance improvement of tuned over
+// base given their measured times (positive = tuned faster), the paper's
+// "performance improvement over the version compiled under O3".
+func Improvement(baseCycles, tunedCycles int64) float64 {
+	if tunedCycles == 0 {
+		return 0
+	}
+	return float64(baseCycles)/float64(tunedCycles) - 1
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peak/internal/bench"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/sim"
+)
+
+// SectionStat reports one candidate tuning section's share of a profiled
+// program run (the TS Selector's evidence, paper §4.1).
+type SectionStat struct {
+	Name        string
+	Invocations int
+	TotalCycles int64
+	// Share is the fraction of whole-program time (candidate cycles plus
+	// the composite's non-TS time) this candidate consumes.
+	Share float64
+	// Selected marks candidates the selector kept.
+	Selected bool
+}
+
+// SelectorConfig tunes the TS Selector.
+type SelectorConfig struct {
+	// CoverageTarget stops selecting once the chosen sections cover this
+	// fraction of the total candidate time (default 0.9).
+	CoverageTarget float64
+	// MinShare drops candidates below this fraction of whole-program time
+	// — too small to repay tuning (default 0.05).
+	MinShare float64
+	// Seed drives the profiling run.
+	Seed int64
+}
+
+// DefaultSelectorConfig mirrors the paper's "most time-consuming functions"
+// criterion.
+func DefaultSelectorConfig() SelectorConfig {
+	return SelectorConfig{CoverageTarget: 0.9, MinShare: 0.05, Seed: 2004}
+}
+
+// SelectSections runs the composite program once (all candidates compiled
+// under "-O3") and returns every candidate's statistics, most expensive
+// first, with the selector's choices marked: candidates are taken in
+// descending time order until CoverageTarget of the candidate time is
+// covered, skipping any below MinShare of whole-program time.
+func SelectSections(c *bench.Composite, m *machine.Machine, cfg SelectorConfig) ([]SectionStat, error) {
+	if cfg.CoverageTarget == 0 {
+		cfg.CoverageTarget = 0.9
+	}
+	versions := map[string]*sim.Version{}
+	for _, name := range c.Candidates {
+		fn, ok := c.Prog.Funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("select: candidate %q not in program", name)
+		}
+		v, err := opt.Compile(c.Prog, fn, opt.O3(), m)
+		if err != nil {
+			return nil, fmt.Errorf("select: compile %s: %w", name, err)
+		}
+		versions[name] = v
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mem := sim.NewMemory(c.Prog)
+	if c.Setup != nil {
+		c.Setup(mem, rng)
+	}
+	runner := sim.NewRunner(m, mem, cfg.Seed^0x5eed)
+
+	stats := map[string]*SectionStat{}
+	for _, name := range c.Candidates {
+		stats[name] = &SectionStat{Name: name}
+	}
+	for i := 0; i < c.NumInvocations; i++ {
+		name, args := c.Next(i, mem, rng)
+		v, ok := versions[name]
+		if !ok {
+			return nil, fmt.Errorf("select: schedule invoked unknown function %q", name)
+		}
+		_, st, err := runner.Run(v, args)
+		if err != nil {
+			return nil, fmt.Errorf("select: %s invocation %d: %w", name, i, err)
+		}
+		s := stats[name]
+		s.Invocations++
+		s.TotalCycles += st.Cycles
+	}
+
+	var out []SectionStat
+	var candidateTotal int64
+	for _, name := range c.Candidates {
+		out = append(out, *stats[name])
+		candidateTotal += stats[name].TotalCycles
+	}
+	programTotal := candidateTotal + c.NonTSCycles
+	for i := range out {
+		if programTotal > 0 {
+			out[i].Share = float64(out[i].TotalCycles) / float64(programTotal)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalCycles != out[j].TotalCycles {
+			return out[i].TotalCycles > out[j].TotalCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+
+	var covered int64
+	for i := range out {
+		if candidateTotal > 0 && float64(covered)/float64(candidateTotal) >= cfg.CoverageTarget {
+			break
+		}
+		if out[i].Share < cfg.MinShare {
+			continue
+		}
+		out[i].Selected = true
+		covered += out[i].TotalCycles
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"peak/internal/bench"
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+	"peak/internal/profiling"
+	"peak/internal/sim"
+)
+
+// composite builds a three-kernel program: a heavy stencil, a medium
+// reduction, and a trivial accessor (the classic "not worth tuning" case).
+func composite() *bench.Composite {
+	prog := ir.NewProgram()
+	prog.AddArray("cu", ir.F64, 1024)
+	prog.AddArray("cv", ir.F64, 1024)
+
+	hb := irbuild.NewFunc("heavy")
+	hb.ScalarParam("n", ir.I64)
+	prog.AddFunc(hb.Body(
+		hb.For("i", hb.I(1), hb.Sub(hb.V("n"), hb.I(1)), 1,
+			hb.Set(hb.At("cv", hb.V("i")),
+				hb.FAdd(hb.At("cu", hb.Sub(hb.V("i"), hb.I(1))),
+					hb.FAdd(hb.At("cu", hb.V("i")), hb.At("cu", hb.Add(hb.V("i"), hb.I(1)))))),
+		),
+	))
+
+	mb := irbuild.NewFunc("medium")
+	mb.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	prog.AddFunc(mb.Body(
+		mb.For("i", mb.I(0), mb.V("n"), 1,
+			mb.Set(mb.V("s"), mb.FAdd(mb.V("s"), mb.At("cu", mb.V("i")))),
+		),
+		mb.Ret(mb.V("s")),
+	))
+
+	tb := irbuild.NewFunc("trivial")
+	tb.ScalarParam("i", ir.I64)
+	prog.AddFunc(tb.Body(tb.Ret(tb.At("cu", tb.V("i")))))
+
+	return &bench.Composite{
+		Name:           "COMPOSITE",
+		Prog:           prog,
+		Candidates:     []string{"heavy", "medium", "trivial"},
+		NumInvocations: 900,
+		Setup: func(mem *sim.Memory, rng *rand.Rand) {
+			d := mem.Get("cu").Data
+			for i := range d {
+				d[i] = rng.Float64()
+			}
+		},
+		Next: func(i int, mem *sim.Memory, rng *rand.Rand) (string, []float64) {
+			switch i % 3 {
+			case 0:
+				return "heavy", []float64{900}
+			case 1:
+				return "medium", []float64{220}
+			default:
+				return "trivial", []float64{float64(i % 1000)}
+			}
+		},
+		NonTSCycles: 200_000,
+	}
+}
+
+func TestSelectSections(t *testing.T) {
+	c := composite()
+	stats, err := SelectSections(c, machine.SPARCII(), DefaultSelectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d, want 3", len(stats))
+	}
+	if stats[0].Name != "heavy" || !stats[0].Selected {
+		t.Errorf("heaviest candidate %q (selected=%v), want heavy selected", stats[0].Name, stats[0].Selected)
+	}
+	for _, s := range stats {
+		if s.Name == "trivial" && s.Selected {
+			t.Error("trivial accessor must not be worth tuning")
+		}
+		if s.Invocations != 300 {
+			t.Errorf("%s invocations = %d, want 300", s.Name, s.Invocations)
+		}
+	}
+	// Shares sum below 1 (non-TS time holds the rest) and are ordered.
+	var sum float64
+	for _, s := range stats {
+		sum += s.Share
+	}
+	if sum >= 1 {
+		t.Errorf("candidate shares sum to %v, want < 1 with non-TS time", sum)
+	}
+	if stats[0].Share < stats[1].Share || stats[1].Share < stats[2].Share {
+		t.Error("stats not sorted by share")
+	}
+}
+
+func TestSelectSectionsErrors(t *testing.T) {
+	c := composite()
+	c.Candidates = append(c.Candidates, "ghost")
+	if _, err := SelectSections(c, machine.SPARCII(), DefaultSelectorConfig()); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+}
+
+// TestCompositeSectionTunes: a selected section converts into a standalone
+// Benchmark that runs through the normal PEAK pipeline.
+func TestCompositeSectionTunes(t *testing.T) {
+	c := composite()
+	b := c.Section("heavy", bench.FP)
+	if b.TSName != "heavy" || b.Prog.Funcs["heavy"] != b.TS {
+		t.Fatal("section extraction broken")
+	}
+	m := machine.SPARCII()
+	p, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	app := Consult(p, &cfg)
+	if !app.Has(MethodRBR) {
+		t.Error("section must at least support RBR")
+	}
+}

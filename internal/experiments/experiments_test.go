@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+	"peak/internal/profiling"
+	"peak/internal/sim"
+	"peak/internal/workloads"
+)
+
+// quickBenchmark is a fast single-context workload so the full Figure-7
+// protocol (all methods including WHL, train and ref) runs in seconds.
+func quickBenchmark() *bench.Benchmark {
+	prog := ir.NewProgram()
+	prog.AddArray("q", ir.F64, 96)
+	b := irbuild.NewFunc("quick")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"),
+				b.FMul(b.At("q", b.V("i")), b.At("q", b.V("i"))))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	mkDS := func(name string, inv int) *bench.Dataset {
+		return &bench.Dataset{
+			Name: name, NumInvocations: inv,
+			Setup: func(mem *sim.Memory, rng *rand.Rand) {
+				d := mem.Get("q").Data
+				for i := range d {
+					d[i] = rng.Float64()
+				}
+			},
+			Args: func(i int, mem *sim.Memory, rng *rand.Rand) []float64 {
+				return []float64{64}
+			},
+		}
+	}
+	return &bench.Benchmark{
+		Name: "QUICK", TSName: "quick", Class: bench.FP,
+		Prog: prog, TS: fn,
+		Train: mkDS("train", 250), Ref: mkDS("ref", 500),
+		NonTSCycles: 50_000, PaperInvocations: "(test)",
+	}
+}
+
+func TestFigure7Protocol(t *testing.T) {
+	cfg := core.DefaultConfig()
+	m := machine.SPARCII()
+	entries, err := Figure7For([]*bench.Benchmark{quickBenchmark()}, m, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CBR, MBR (constant-only), RBR, WHL, AVG.
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(entries))
+	}
+	var whl, chosen *Fig7Entry
+	for i := range entries {
+		e := &entries[i]
+		if e.Method == core.MethodWHL {
+			whl = e
+		}
+		if e.Chosen {
+			chosen = e
+		}
+		if e.TrainTuningCycles <= 0 || e.RefTuningCycles <= 0 {
+			t.Errorf("%s: missing tuning cycles", e.Method)
+		}
+	}
+	if whl == nil {
+		t.Fatal("WHL entry missing")
+	}
+	if whl.TrainNormTime != 1 || whl.RefNormTime != 1 {
+		t.Errorf("WHL must normalize to 1.0, got %v/%v", whl.TrainNormTime, whl.RefNormTime)
+	}
+	if chosen == nil || chosen.Method != core.MethodCBR {
+		t.Errorf("chosen method = %v, want CBR", chosen)
+	}
+	// The fair methods must be far cheaper than WHL on this workload.
+	for _, e := range entries {
+		if e.Method == core.MethodWHL {
+			continue
+		}
+		if e.TrainNormTime >= 1 {
+			t.Errorf("%s: normalized tuning time %.3f not below WHL", e.Method, e.TrainNormTime)
+		}
+	}
+	out := FormatFigure7(entries, m.Name)
+	for _, want := range []string{"quick_CBR", "quick_WHL", "normalized to WHL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFigure7 missing %q", want)
+		}
+	}
+}
+
+func TestForceableBars(t *testing.T) {
+	cfg := core.DefaultConfig()
+	m := machine.SPARCII()
+
+	// ART: no CBR bar (mutated control arrays), no MBR bar (bad model) —
+	// exactly the paper's art_RBR/art_WHL/art_AVG set.
+	art, _ := workloads.ByName("ART")
+	p, err := profileOf(art, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := forceable(p, &cfg)
+	if len(ms) != 3 || ms[0] != core.MethodRBR {
+		t.Errorf("ART bars = %v, want [RBR WHL AVG]", ms)
+	}
+
+	// MGRID: CBR bar exists despite too many contexts (the mgrid_CBR
+	// bar), plus MBR.
+	mgrid, _ := workloads.ByName("MGRID")
+	p, err = profileOf(mgrid, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms = forceable(p, &cfg)
+	found := map[core.Method]bool{}
+	for _, mm := range ms {
+		found[mm] = true
+	}
+	if !found[core.MethodCBR] || !found[core.MethodMBR] {
+		t.Errorf("MGRID bars = %v, want CBR and MBR present", ms)
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	cfg := core.DefaultConfig()
+	rows, err := Table1(machine.SPARCII(), []int{10, 40}, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 benchmarks; APSI contributes 3 rows and WUPWISE 2: 17 total.
+	if len(rows) != 17 {
+		t.Fatalf("rows = %d, want 17", len(rows))
+	}
+	perBench := map[string]int{}
+	grew := 0
+	for _, r := range rows {
+		perBench[r.Benchmark]++
+		w10, w40 := r.Windows[10], r.Windows[40]
+		if w10.N == 0 || w40.N == 0 {
+			t.Errorf("%s: empty windows", r.Benchmark)
+		}
+		if w40.Sigma > w10.Sigma {
+			grew++
+		}
+	}
+	if perBench["APSI"] != 3 || perBench["WUPWISE"] != 2 || perBench["SWIM"] != 1 {
+		t.Errorf("context rows: %v", perBench)
+	}
+	// σ must shrink with the window for nearly all rows (noise can flip
+	// one or two).
+	if grew > 2 {
+		t.Errorf("%d rows grew sigma from w=10 to w=40", grew)
+	}
+	out := FormatTable1(rows, []int{10, 40})
+	for _, want := range []string{"BZIP2", "radb4(Context 3)", "w=40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 missing %q", want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	entries := []Fig7Entry{
+		{Chosen: true, TrainImprovement: 0.5, TrainNormTime: 0.2},
+		{Chosen: true, TrainImprovement: 0.1, TrainNormTime: 0.1},
+		{Chosen: false, TrainImprovement: 9.9, TrainNormTime: 9.9}, // ignored
+	}
+	h := Summarize(entries)
+	if h.MaxImprovement != 0.5 || h.AvgImprovement != 0.3 {
+		t.Errorf("improvement summary: %+v", h)
+	}
+	if h.MaxReduction != 0.9 || math.Abs(h.AvgReduction-0.85) > 1e-12 {
+		t.Errorf("reduction summary: %+v", h)
+	}
+}
+
+func profileOf(b *bench.Benchmark, m *machine.Machine) (*profiling.Profile, error) {
+	return profiling.Run(b, b.Train, m)
+}

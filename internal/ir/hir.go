@@ -1,0 +1,454 @@
+// Package ir defines the two-level intermediate representation used by the
+// PEAK reproduction.
+//
+// The high-level IR (HIR) is a structured AST: functions contain statements
+// (assignments, if, for, while), statements contain expressions. Workload
+// kernels are written in HIR, and most optimization passes transform HIR.
+//
+// The low-level IR (LIR) is a control-flow graph of basic blocks holding
+// three-address instructions over virtual registers. Lowering (package
+// lower), register allocation (package regalloc) and execution (package sim)
+// operate on LIR.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the static type of a value. The execution engine represents all
+// values as float64 (exact for integers below 2^53); Type only selects the
+// cost class of operations (integer vs floating point).
+type Type int
+
+const (
+	// I64 is the 64-bit integer type.
+	I64 Type = iota
+	// F64 is the 64-bit floating point type.
+	F64
+)
+
+func (t Type) String() string {
+	if t == F64 {
+		return "f64"
+	}
+	return "i64"
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators. Comparison operators yield 0 or 1 (I64).
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op is one of the six comparison operators.
+func (op BinOp) IsComparison() bool { return op >= OpEq }
+
+// Commutative reports whether op is commutative (used by CSE to canonicalize
+// expressions).
+func (op BinOp) Commutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // arithmetic negation
+	OpNot             // logical not: 0 -> 1, nonzero -> 0
+)
+
+func (op UnOp) String() string {
+	if op == OpNot {
+		return "!"
+	}
+	return "-"
+}
+
+// Expr is an expression node in the HIR.
+type Expr interface {
+	exprNode()
+	// Clone returns a deep copy of the expression.
+	Clone() Expr
+	String() string
+}
+
+// ConstInt is an integer literal.
+type ConstInt struct{ V int64 }
+
+// ConstFloat is a floating point literal.
+type ConstFloat struct{ V float64 }
+
+// VarRef names a scalar variable: a parameter, local, or global scalar.
+type VarRef struct{ Name string }
+
+// ArrayRef reads (as an expression) or addresses (as an assignment target)
+// element Index of the named array.
+type ArrayRef struct {
+	Name  string
+	Index Expr
+}
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// Binary applies a binary operator. Typ selects integer or floating-point
+// cost class.
+type Binary struct {
+	Op   BinOp
+	Typ  Type
+	X, Y Expr
+}
+
+// CallExpr calls a named function and yields its return value. Intrinsics
+// (sqrt, abs, min, max, floor, sin, cos, exp) are recognized by name; other
+// names must resolve to Program functions (candidates for inlining).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// Select is a branch-free conditional: Cond != 0 ? X : Y. Both arms are
+// evaluated (it lowers to LSelect). Produced by if-conversion.
+type Select struct {
+	Cond, X, Y Expr
+}
+
+func (*ConstInt) exprNode()   {}
+func (*ConstFloat) exprNode() {}
+func (*VarRef) exprNode()     {}
+func (*ArrayRef) exprNode()   {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*CallExpr) exprNode()   {}
+func (*Select) exprNode()     {}
+
+// Clone implements Expr.
+func (e *ConstInt) Clone() Expr { c := *e; return &c }
+
+// Clone implements Expr.
+func (e *ConstFloat) Clone() Expr { c := *e; return &c }
+
+// Clone implements Expr.
+func (e *VarRef) Clone() Expr { c := *e; return &c }
+
+// Clone implements Expr.
+func (e *ArrayRef) Clone() Expr { return &ArrayRef{Name: e.Name, Index: e.Index.Clone()} }
+
+// Clone implements Expr.
+func (e *Unary) Clone() Expr { return &Unary{Op: e.Op, X: e.X.Clone()} }
+
+// Clone implements Expr.
+func (e *Binary) Clone() Expr {
+	return &Binary{Op: e.Op, Typ: e.Typ, X: e.X.Clone(), Y: e.Y.Clone()}
+}
+
+// Clone implements Expr.
+func (e *CallExpr) Clone() Expr {
+	args := make([]Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.Clone()
+	}
+	return &CallExpr{Fn: e.Fn, Args: args}
+}
+
+// Clone implements Expr.
+func (e *Select) Clone() Expr {
+	return &Select{Cond: e.Cond.Clone(), X: e.X.Clone(), Y: e.Y.Clone()}
+}
+
+func (e *ConstInt) String() string   { return fmt.Sprintf("%d", e.V) }
+func (e *ConstFloat) String() string { return fmt.Sprintf("%g", e.V) }
+func (e *VarRef) String() string     { return e.Name }
+func (e *ArrayRef) String() string   { return fmt.Sprintf("%s[%s]", e.Name, e.Index) }
+func (e *Unary) String() string      { return fmt.Sprintf("%s(%s)", e.Op, e.X) }
+func (e *Binary) String() string     { return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y) }
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(parts, ", "))
+}
+func (e *Select) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.X, e.Y)
+}
+
+// Stmt is a statement node in the HIR.
+type Stmt interface {
+	stmtNode()
+	// Clone returns a deep copy of the statement.
+	Clone() Stmt
+}
+
+// Assign stores Rhs into Lhs. Lhs must be *VarRef or *ArrayRef.
+type Assign struct {
+	Lhs Expr
+	Rhs Expr
+}
+
+// If is a two-armed conditional. Else may be nil.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	// Guard marks compiler-inserted null/bounds checks that the
+	// delete-null-pointer-checks flag may remove.
+	Guard bool
+}
+
+// For is a counted loop: for Var = From; Var < To; Var += Step { Body }.
+// Step must be a positive constant for unrolling to apply.
+type For struct {
+	Var  string
+	From Expr
+	To   Expr
+	Step int64
+	Body []Stmt
+}
+
+// While is a general pre-test loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Break exits the innermost enclosing loop.
+type Break struct{}
+
+// Return exits the function, optionally with a value (nil for none).
+type Return struct{ Value Expr }
+
+// CallStmt calls a function for effect, discarding any result.
+type CallStmt struct {
+	Fn   string
+	Args []Expr
+}
+
+// Counter is an MBR instrumentation pseudo-statement: executing it
+// increments counter ID. Counters have no data or control dependences;
+// optimization passes preserve them and the execution engine charges no
+// cycles for them (paper §2.3).
+type Counter struct{ ID int }
+
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*For) stmtNode()      {}
+func (*While) stmtNode()    {}
+func (*Break) stmtNode()    {}
+func (*Return) stmtNode()   {}
+func (*CallStmt) stmtNode() {}
+func (*Counter) stmtNode()  {}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(list []Stmt) []Stmt {
+	if list == nil {
+		return nil
+	}
+	out := make([]Stmt, len(list))
+	for i, s := range list {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Clone implements Stmt.
+func (s *Assign) Clone() Stmt { return &Assign{Lhs: s.Lhs.Clone(), Rhs: s.Rhs.Clone()} }
+
+// Clone implements Stmt.
+func (s *If) Clone() Stmt {
+	return &If{Cond: s.Cond.Clone(), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else), Guard: s.Guard}
+}
+
+// Clone implements Stmt.
+func (s *For) Clone() Stmt {
+	return &For{Var: s.Var, From: s.From.Clone(), To: s.To.Clone(), Step: s.Step, Body: CloneStmts(s.Body)}
+}
+
+// Clone implements Stmt.
+func (s *While) Clone() Stmt { return &While{Cond: s.Cond.Clone(), Body: CloneStmts(s.Body)} }
+
+// Clone implements Stmt.
+func (s *Break) Clone() Stmt { return &Break{} }
+
+// Clone implements Stmt.
+func (s *Return) Clone() Stmt {
+	r := &Return{}
+	if s.Value != nil {
+		r.Value = s.Value.Clone()
+	}
+	return r
+}
+
+// Clone implements Stmt.
+func (s *CallStmt) Clone() Stmt {
+	args := make([]Expr, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.Clone()
+	}
+	return &CallStmt{Fn: s.Fn, Args: args}
+}
+
+// Clone implements Stmt.
+func (s *Counter) Clone() Stmt { return &Counter{ID: s.ID} }
+
+// Param declares a function parameter. Scalars are passed by value; arrays
+// are passed by reference (the argument names a memory array).
+type Param struct {
+	Name    string
+	Typ     Type
+	IsArray bool
+}
+
+// Local declares a function-local scalar.
+type Local struct {
+	Name string
+	Typ  Type
+}
+
+// Func is an HIR function. A tuning section is a Func plus the Program
+// context it runs in.
+type Func struct {
+	Name   string
+	Params []Param
+	Locals []Local
+	Body   []Stmt
+	// NumCounters is the number of MBR instrumentation counters inserted
+	// into Body (counter IDs are 0..NumCounters-1).
+	NumCounters int
+}
+
+// Clone deep-copies the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:        f.Name,
+		Params:      append([]Param(nil), f.Params...),
+		Locals:      append([]Local(nil), f.Locals...),
+		Body:        CloneStmts(f.Body),
+		NumCounters: f.NumCounters,
+	}
+	return nf
+}
+
+// ParamIndex returns the index of the named parameter, or -1.
+func (f *Func) ParamIndex(name string) int {
+	for i, p := range f.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsParam reports whether name is a parameter of f.
+func (f *Func) IsParam(name string) bool { return f.ParamIndex(name) >= 0 }
+
+// IsLocal reports whether name is declared as a local of f.
+func (f *Func) IsLocal(name string) bool {
+	for _, l := range f.Locals {
+		if l.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ArrayDecl declares a named memory array in a Program.
+type ArrayDecl struct {
+	Name string
+	Typ  Type
+	Len  int
+}
+
+// Program is a compilation unit: functions plus global memory arrays and
+// global scalars. Workloads build one Program per benchmark.
+type Program struct {
+	Funcs   map[string]*Func
+	Arrays  []ArrayDecl
+	Scalars []Local
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{Funcs: make(map[string]*Func)}
+}
+
+// AddFunc registers fn, replacing any previous function of the same name.
+func (p *Program) AddFunc(fn *Func) { p.Funcs[fn.Name] = fn }
+
+// AddArray declares a global array.
+func (p *Program) AddArray(name string, typ Type, n int) {
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: name, Typ: typ, Len: n})
+}
+
+// AddScalar declares a global scalar.
+func (p *Program) AddScalar(name string, typ Type) {
+	p.Scalars = append(p.Scalars, Local{Name: name, Typ: typ})
+}
+
+// Array returns the declaration of the named array and whether it exists.
+func (p *Program) Array(name string) (ArrayDecl, bool) {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return ArrayDecl{}, false
+}
+
+// Clone deep-copies the program (functions, arrays, scalars).
+func (p *Program) Clone() *Program {
+	np := NewProgram()
+	for name, fn := range p.Funcs {
+		np.Funcs[name] = fn.Clone()
+	}
+	np.Arrays = append([]ArrayDecl(nil), p.Arrays...)
+	np.Scalars = append([]Local(nil), p.Scalars...)
+	return np
+}
+
+// Intrinsics recognized by CallExpr/CallStmt without a Program definition.
+var intrinsics = map[string]int{
+	"sqrt": 1, "abs": 1, "floor": 1, "sin": 1, "cos": 1, "exp": 1, "log": 1,
+	"min": 2, "max": 2, "imin": 2, "imax": 2,
+}
+
+// IsIntrinsic reports whether name is a built-in math intrinsic and, if so,
+// its arity.
+func IsIntrinsic(name string) (arity int, ok bool) {
+	a, ok := intrinsics[name]
+	return a, ok
+}

@@ -1,0 +1,211 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBinOpProperties(t *testing.T) {
+	comparisons := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range comparisons {
+		if !op.IsComparison() {
+			t.Errorf("%s must be a comparison", op)
+		}
+	}
+	for _, op := range []BinOp{OpAdd, OpMul, OpShl, OpDiv} {
+		if op.IsComparison() {
+			t.Errorf("%s must not be a comparison", op)
+		}
+	}
+	for _, op := range []BinOp{OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe} {
+		if !op.Commutative() {
+			t.Errorf("%s must be commutative", op)
+		}
+	}
+	for _, op := range []BinOp{OpSub, OpDiv, OpMod, OpShl, OpLt} {
+		if op.Commutative() {
+			t.Errorf("%s must not be commutative", op)
+		}
+	}
+}
+
+func TestExprCloneIsDeep(t *testing.T) {
+	orig := &Binary{
+		Op: OpAdd, Typ: F64,
+		X: &ArrayRef{Name: "a", Index: &VarRef{Name: "i"}},
+		Y: &CallExpr{Fn: "sqrt", Args: []Expr{&ConstFloat{V: 2}}},
+	}
+	cp := orig.Clone().(*Binary)
+	cp.X.(*ArrayRef).Index.(*VarRef).Name = "j"
+	cp.Y.(*CallExpr).Args[0] = &ConstFloat{V: 9}
+	if orig.X.(*ArrayRef).Index.(*VarRef).Name != "i" {
+		t.Error("Clone shared the array index")
+	}
+	if orig.Y.(*CallExpr).Args[0].(*ConstFloat).V != 2 {
+		t.Error("Clone shared call args")
+	}
+}
+
+func TestStmtCloneIsDeep(t *testing.T) {
+	loop := &For{
+		Var: "i", From: &ConstInt{V: 0}, To: &VarRef{Name: "n"}, Step: 1,
+		Body: []Stmt{
+			&If{Cond: &VarRef{Name: "c"}, Then: []Stmt{
+				&Assign{Lhs: &VarRef{Name: "x"}, Rhs: &ConstInt{V: 1}},
+			}},
+			&Counter{ID: 3},
+		},
+	}
+	cp := loop.Clone().(*For)
+	cp.Body[0].(*If).Then[0].(*Assign).Rhs = &ConstInt{V: 99}
+	cp.Body[1].(*Counter).ID = 7
+	if loop.Body[0].(*If).Then[0].(*Assign).Rhs.(*ConstInt).V != 1 {
+		t.Error("For.Clone shared nested statements")
+	}
+	if loop.Body[1].(*Counter).ID != 3 {
+		t.Error("For.Clone shared counters")
+	}
+}
+
+func TestFuncCloneIndependence(t *testing.T) {
+	fn := &Func{
+		Name:   "f",
+		Params: []Param{{Name: "n", Typ: I64}},
+		Locals: []Local{{Name: "s", Typ: F64}},
+		Body:   []Stmt{&Return{Value: &VarRef{Name: "s"}}},
+	}
+	cp := fn.Clone()
+	cp.Locals = append(cp.Locals, Local{Name: "t", Typ: I64})
+	cp.Body[0].(*Return).Value = nil
+	if len(fn.Locals) != 1 || fn.Body[0].(*Return).Value == nil {
+		t.Error("Func.Clone leaked mutations")
+	}
+	if fn.ParamIndex("n") != 0 || fn.ParamIndex("zz") != -1 {
+		t.Error("ParamIndex broken")
+	}
+	if !fn.IsParam("n") || fn.IsParam("s") || !fn.IsLocal("s") || fn.IsLocal("n") {
+		t.Error("IsParam/IsLocal broken")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := NewProgram()
+	p.AddArray("a", F64, 10)
+	p.AddScalar("g", I64)
+	if a, ok := p.Array("a"); !ok || a.Len != 10 || a.Typ != F64 {
+		t.Error("Array lookup broken")
+	}
+	if _, ok := p.Array("zz"); ok {
+		t.Error("Array lookup found a ghost")
+	}
+	cp := p.Clone()
+	cp.AddArray("b", I64, 5)
+	if _, ok := p.Array("b"); ok {
+		t.Error("Program.Clone shared arrays")
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	if a, ok := IsIntrinsic("sqrt"); !ok || a != 1 {
+		t.Error("sqrt must be a unary intrinsic")
+	}
+	if a, ok := IsIntrinsic("min"); !ok || a != 2 {
+		t.Error("min must be binary")
+	}
+	if _, ok := IsIntrinsic("frobnicate"); ok {
+		t.Error("unknown intrinsic accepted")
+	}
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses int
+		def  bool
+	}{
+		{Instr{Op: LAdd, Dst: 2, A: 0, B: 1}, 2, true},
+		{Instr{Op: LMovI, Dst: 1, A: NoReg, B: NoReg, Imm: 7}, 0, true},
+		{Instr{Op: LStore, Dst: NoReg, A: 0, B: NoReg, Src: 1, Arr: "a"}, 2, false},
+		{Instr{Op: LSelect, Dst: 3, A: 0, B: 1, Src: 2}, 3, true},
+		{Instr{Op: LCall, Dst: 2, A: NoReg, B: NoReg, CallArgs: []Reg{0, 1}}, 2, true},
+		{Instr{Op: LCount, Dst: NoReg, A: NoReg, B: NoReg, Imm: 0}, 0, false},
+		{Instr{Op: LLoad, Dst: 1, A: 0, B: NoReg, Arr: "a"}, 1, true},
+	}
+	for _, c := range cases {
+		uses := c.in.Uses(nil)
+		if len(uses) != c.uses {
+			t.Errorf("%s: uses = %v, want %d", c.in.Op, uses, c.uses)
+		}
+		if (c.in.Def() != NoReg) != c.def {
+			t.Errorf("%s: def = %v, want def=%v", c.in.Op, c.in.Def(), c.def)
+		}
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	for _, op := range []Opcode{LFAdd, LFMul, LFDiv, LMovF, LFCmpLt} {
+		if !op.IsFloat() {
+			t.Errorf("%s must be float class", op)
+		}
+	}
+	for _, op := range []Opcode{LAdd, LMovI, LLoad, LCmpEq} {
+		if op.IsFloat() {
+			t.Errorf("%s must be integer class", op)
+		}
+	}
+	if !LCmpLt.IsCmp() || !LFCmpGe.IsCmp() || LAdd.IsCmp() {
+		t.Error("IsCmp misclassifies")
+	}
+}
+
+func TestLFuncCloneAndString(t *testing.T) {
+	f := &LFunc{
+		Name:      "f",
+		Params:    []Param{{Name: "n", Typ: I64}},
+		ParamRegs: []Reg{0},
+		NumRegs:   3,
+		FloatReg:  []bool{false, false, true},
+		Blocks: []*Block{
+			{ID: 0, Instrs: []Instr{
+				{Op: LMovI, Dst: 1, A: NoReg, B: NoReg, Imm: 5},
+				{Op: LCall, Dst: 2, A: NoReg, B: NoReg, Fn: "sqrt", CallArgs: []Reg{1}},
+			}, Term: Terminator{Kind: TermReturn, Val: 2}},
+		},
+	}
+	cp := f.Clone()
+	cp.Blocks[0].Instrs[0].Imm = 99
+	cp.Blocks[0].Instrs[1].CallArgs[0] = 0
+	if f.Blocks[0].Instrs[0].Imm != 5 {
+		t.Error("Clone shared instruction storage")
+	}
+	if f.Blocks[0].Instrs[1].CallArgs[0] != 1 {
+		t.Error("Clone shared call args")
+	}
+	s := f.String()
+	for _, want := range []string{"func f", "movi 5", "call sqrt", "ret r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if f.InstrCount() != 2 {
+		t.Errorf("InstrCount = %d, want 2", f.InstrCount())
+	}
+	if f.BlockByID(0) != f.Blocks[0] || f.BlockByID(9) != nil {
+		t.Error("BlockByID broken")
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	j := &Block{Term: Terminator{Kind: TermJump, Then: 4}}
+	br := &Block{Term: Terminator{Kind: TermBranch, Cond: 0, Then: 1, Else: 2}}
+	ret := &Block{Term: Terminator{Kind: TermReturn, Val: NoReg}}
+	if got := j.Succs(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("jump succs = %v", got)
+	}
+	if got := br.Succs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("branch succs = %v", got)
+	}
+	if got := ret.Succs(); got != nil {
+		t.Errorf("return succs = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package ir
+
+import "fmt"
+
+// VerifyLFunc checks LIR well-formedness invariants that every lowering and
+// optimization pass must preserve:
+//
+//   - at least one block, with no duplicate block IDs;
+//   - every terminator target refers to an existing block;
+//   - every register operand (sources, destinations, call arguments,
+//     terminator conditions/values) lies in [0, NumRegs);
+//   - FloatReg has exactly NumRegs entries;
+//   - every block is terminated sensibly (TermKind in range).
+//
+// The compiler runs it after its pass pipeline; tests run it on every
+// workload × flag combination.
+func VerifyLFunc(f *LFunc) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("verify %s: no blocks", f.Name)
+	}
+	if len(f.FloatReg) != f.NumRegs {
+		return fmt.Errorf("verify %s: FloatReg has %d entries for %d regs",
+			f.Name, len(f.FloatReg), f.NumRegs)
+	}
+	ids := make(map[int]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if ids[b.ID] {
+			return fmt.Errorf("verify %s: duplicate block id %d", f.Name, b.ID)
+		}
+		ids[b.ID] = true
+	}
+	checkReg := func(where string, r Reg, allowNone bool) error {
+		if r == NoReg {
+			if allowNone {
+				return nil
+			}
+			return fmt.Errorf("verify %s: missing register in %s", f.Name, where)
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("verify %s: register r%d out of range [0,%d) in %s",
+				f.Name, r, f.NumRegs, where)
+		}
+		return nil
+	}
+	for _, r := range f.ParamRegs {
+		if err := checkReg("param", r, true); err != nil {
+			return err
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			where := fmt.Sprintf("b%d: %s", b.ID, in.String())
+			for _, u := range in.Uses(nil) {
+				if err := checkReg(where, u, false); err != nil {
+					return err
+				}
+			}
+			if d := in.Def(); d != NoReg {
+				if err := checkReg(where, d, false); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case LLoad, LStore:
+				if in.Arr == "" {
+					return fmt.Errorf("verify %s: memory op without array in %s", f.Name, where)
+				}
+			case LCall:
+				if in.Fn == "" {
+					return fmt.Errorf("verify %s: call without callee in %s", f.Name, where)
+				}
+			case LCount:
+				if in.Imm < 0 || int(in.Imm) >= f.NumCounters {
+					return fmt.Errorf("verify %s: counter #%d out of range [0,%d) in %s",
+						f.Name, in.Imm, f.NumCounters, where)
+				}
+			}
+		}
+		t := &b.Term
+		switch t.Kind {
+		case TermJump:
+			if !ids[t.Then] {
+				return fmt.Errorf("verify %s: b%d jumps to missing b%d", f.Name, b.ID, t.Then)
+			}
+		case TermBranch:
+			if err := checkReg(fmt.Sprintf("b%d branch cond", b.ID), t.Cond, false); err != nil {
+				return err
+			}
+			if !ids[t.Then] || !ids[t.Else] {
+				return fmt.Errorf("verify %s: b%d branches to missing block (%d/%d)",
+					f.Name, b.ID, t.Then, t.Else)
+			}
+		case TermReturn:
+			if err := checkReg(fmt.Sprintf("b%d return", b.ID), t.Val, true); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("verify %s: b%d has invalid terminator kind %d", f.Name, b.ID, t.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validFunc() *LFunc {
+	return &LFunc{
+		Name:      "f",
+		Params:    []Param{{Name: "n", Typ: I64}},
+		ParamRegs: []Reg{0},
+		NumRegs:   3,
+		FloatReg:  []bool{false, false, false},
+		Blocks: []*Block{
+			{ID: 0, Instrs: []Instr{
+				{Op: LMovI, Dst: 1, A: NoReg, B: NoReg, Imm: 1},
+				{Op: LAdd, Dst: 2, A: 0, B: 1},
+			}, Term: Terminator{Kind: TermBranch, Cond: 2, Then: 1, Else: 1}},
+			{ID: 1, Term: Terminator{Kind: TermReturn, Val: 2}},
+		},
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := VerifyLFunc(validFunc()); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(f *LFunc)
+		want   string
+	}{
+		{"no blocks", func(f *LFunc) { f.Blocks = nil }, "no blocks"},
+		{"floatreg mismatch", func(f *LFunc) { f.FloatReg = f.FloatReg[:1] }, "FloatReg"},
+		{"duplicate ids", func(f *LFunc) { f.Blocks[1].ID = 0 }, "duplicate"},
+		{"reg out of range", func(f *LFunc) { f.Blocks[0].Instrs[1].A = 77 }, "out of range"},
+		{"negative reg", func(f *LFunc) { f.Blocks[0].Instrs[1].B = -5 }, "out of range"},
+		{"missing jump target", func(f *LFunc) {
+			f.Blocks[0].Term = Terminator{Kind: TermJump, Then: 42}
+		}, "missing"},
+		{"missing branch target", func(f *LFunc) { f.Blocks[0].Term.Else = 9 }, "missing"},
+		{"branch without cond", func(f *LFunc) { f.Blocks[0].Term.Cond = NoReg }, "missing register"},
+		{"load without array", func(f *LFunc) {
+			f.Blocks[0].Instrs[0] = Instr{Op: LLoad, Dst: 1, A: 0, B: NoReg}
+		}, "without array"},
+		{"call without callee", func(f *LFunc) {
+			f.Blocks[0].Instrs[0] = Instr{Op: LCall, Dst: 1, A: NoReg, B: NoReg}
+		}, "without callee"},
+		{"counter out of range", func(f *LFunc) {
+			f.Blocks[0].Instrs[0] = Instr{Op: LCount, Dst: NoReg, A: NoReg, B: NoReg, Imm: 3}
+		}, "counter"},
+		{"bad terminator kind", func(f *LFunc) { f.Blocks[1].Term.Kind = TermKind(9) }, "invalid terminator"},
+	}
+	for _, c := range cases {
+		f := validFunc()
+		c.mutate(f)
+		err := VerifyLFunc(f)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerifyReturnWithoutValueOK(t *testing.T) {
+	f := validFunc()
+	f.Blocks[1].Term.Val = NoReg
+	if err := VerifyLFunc(f); err != nil {
+		t.Errorf("void return rejected: %v", err)
+	}
+}

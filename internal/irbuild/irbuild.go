@@ -1,0 +1,207 @@
+// Package irbuild provides a small fluent builder for constructing HIR
+// kernels. Workload definitions and tests use it to keep kernel sources
+// readable:
+//
+//	b := irbuild.NewFunc("saxpy")
+//	b.ScalarParam("n", ir.I64).ArrayParam("x").ArrayParam("y").ScalarParam("a", ir.F64)
+//	b.For("i", b.I(0), b.V("n"), 1,
+//	    b.Set(b.At("y", b.V("i")),
+//	        b.FAdd(b.At("y", b.V("i")), b.FMul(b.V("a"), b.At("x", b.V("i"))))),
+//	)
+package irbuild
+
+import (
+	"fmt"
+
+	"peak/internal/ir"
+)
+
+// FuncBuilder accumulates an ir.Func.
+type FuncBuilder struct {
+	fn *ir.Func
+}
+
+// NewFunc starts building a function with the given name.
+func NewFunc(name string) *FuncBuilder {
+	return &FuncBuilder{fn: &ir.Func{Name: name}}
+}
+
+// ScalarParam appends a scalar parameter.
+func (b *FuncBuilder) ScalarParam(name string, typ ir.Type) *FuncBuilder {
+	b.fn.Params = append(b.fn.Params, ir.Param{Name: name, Typ: typ})
+	return b
+}
+
+// ArrayParam appends an array (by-reference) parameter.
+func (b *FuncBuilder) ArrayParam(name string) *FuncBuilder {
+	b.fn.Params = append(b.fn.Params, ir.Param{Name: name, IsArray: true})
+	return b
+}
+
+// Local declares a function-local scalar.
+func (b *FuncBuilder) Local(name string, typ ir.Type) *FuncBuilder {
+	b.fn.Locals = append(b.fn.Locals, ir.Local{Name: name, Typ: typ})
+	return b
+}
+
+// Body sets the function body and returns the finished function.
+func (b *FuncBuilder) Body(stmts ...ir.Stmt) *ir.Func {
+	b.fn.Body = stmts
+	return b.fn
+}
+
+// Fn returns the function under construction.
+func (b *FuncBuilder) Fn() *ir.Func { return b.fn }
+
+// --- Expressions -----------------------------------------------------------
+
+// I builds an integer constant.
+func (b *FuncBuilder) I(v int64) ir.Expr { return &ir.ConstInt{V: v} }
+
+// F builds a floating point constant.
+func (b *FuncBuilder) F(v float64) ir.Expr { return &ir.ConstFloat{V: v} }
+
+// V references a scalar variable.
+func (b *FuncBuilder) V(name string) ir.Expr { return &ir.VarRef{Name: name} }
+
+// At references element idx of array arr.
+func (b *FuncBuilder) At(arr string, idx ir.Expr) ir.Expr {
+	return &ir.ArrayRef{Name: arr, Index: idx}
+}
+
+func bin(op ir.BinOp, typ ir.Type, x, y ir.Expr) ir.Expr {
+	return &ir.Binary{Op: op, Typ: typ, X: x, Y: y}
+}
+
+// Add builds integer x+y.
+func (b *FuncBuilder) Add(x, y ir.Expr) ir.Expr { return bin(ir.OpAdd, ir.I64, x, y) }
+
+// Sub builds integer x-y.
+func (b *FuncBuilder) Sub(x, y ir.Expr) ir.Expr { return bin(ir.OpSub, ir.I64, x, y) }
+
+// Mul builds integer x*y.
+func (b *FuncBuilder) Mul(x, y ir.Expr) ir.Expr { return bin(ir.OpMul, ir.I64, x, y) }
+
+// Div builds integer x/y (truncating).
+func (b *FuncBuilder) Div(x, y ir.Expr) ir.Expr { return bin(ir.OpDiv, ir.I64, x, y) }
+
+// Mod builds integer x%y.
+func (b *FuncBuilder) Mod(x, y ir.Expr) ir.Expr { return bin(ir.OpMod, ir.I64, x, y) }
+
+// And builds bitwise x&y.
+func (b *FuncBuilder) And(x, y ir.Expr) ir.Expr { return bin(ir.OpAnd, ir.I64, x, y) }
+
+// Or builds bitwise x|y.
+func (b *FuncBuilder) Or(x, y ir.Expr) ir.Expr { return bin(ir.OpOr, ir.I64, x, y) }
+
+// Xor builds bitwise x^y.
+func (b *FuncBuilder) Xor(x, y ir.Expr) ir.Expr { return bin(ir.OpXor, ir.I64, x, y) }
+
+// Shl builds x<<y.
+func (b *FuncBuilder) Shl(x, y ir.Expr) ir.Expr { return bin(ir.OpShl, ir.I64, x, y) }
+
+// Shr builds x>>y.
+func (b *FuncBuilder) Shr(x, y ir.Expr) ir.Expr { return bin(ir.OpShr, ir.I64, x, y) }
+
+// FAdd builds floating x+y.
+func (b *FuncBuilder) FAdd(x, y ir.Expr) ir.Expr { return bin(ir.OpAdd, ir.F64, x, y) }
+
+// FSub builds floating x-y.
+func (b *FuncBuilder) FSub(x, y ir.Expr) ir.Expr { return bin(ir.OpSub, ir.F64, x, y) }
+
+// FMul builds floating x*y.
+func (b *FuncBuilder) FMul(x, y ir.Expr) ir.Expr { return bin(ir.OpMul, ir.F64, x, y) }
+
+// FDiv builds floating x/y.
+func (b *FuncBuilder) FDiv(x, y ir.Expr) ir.Expr { return bin(ir.OpDiv, ir.F64, x, y) }
+
+// Eq builds x==y.
+func (b *FuncBuilder) Eq(x, y ir.Expr) ir.Expr { return bin(ir.OpEq, ir.I64, x, y) }
+
+// Ne builds x!=y.
+func (b *FuncBuilder) Ne(x, y ir.Expr) ir.Expr { return bin(ir.OpNe, ir.I64, x, y) }
+
+// Lt builds x<y.
+func (b *FuncBuilder) Lt(x, y ir.Expr) ir.Expr { return bin(ir.OpLt, ir.I64, x, y) }
+
+// Le builds x<=y.
+func (b *FuncBuilder) Le(x, y ir.Expr) ir.Expr { return bin(ir.OpLe, ir.I64, x, y) }
+
+// Gt builds x>y.
+func (b *FuncBuilder) Gt(x, y ir.Expr) ir.Expr { return bin(ir.OpGt, ir.I64, x, y) }
+
+// Ge builds x>=y.
+func (b *FuncBuilder) Ge(x, y ir.Expr) ir.Expr { return bin(ir.OpGe, ir.I64, x, y) }
+
+// FLt builds floating x<y.
+func (b *FuncBuilder) FLt(x, y ir.Expr) ir.Expr { return bin(ir.OpLt, ir.F64, x, y) }
+
+// FGt builds floating x>y.
+func (b *FuncBuilder) FGt(x, y ir.Expr) ir.Expr { return bin(ir.OpGt, ir.F64, x, y) }
+
+// FLe builds floating x<=y.
+func (b *FuncBuilder) FLe(x, y ir.Expr) ir.Expr { return bin(ir.OpLe, ir.F64, x, y) }
+
+// FGe builds floating x>=y.
+func (b *FuncBuilder) FGe(x, y ir.Expr) ir.Expr { return bin(ir.OpGe, ir.F64, x, y) }
+
+// Neg builds -x.
+func (b *FuncBuilder) Neg(x ir.Expr) ir.Expr { return &ir.Unary{Op: ir.OpNeg, X: x} }
+
+// Not builds !x.
+func (b *FuncBuilder) Not(x ir.Expr) ir.Expr { return &ir.Unary{Op: ir.OpNot, X: x} }
+
+// Call builds a call expression.
+func (b *FuncBuilder) Call(fn string, args ...ir.Expr) ir.Expr {
+	return &ir.CallExpr{Fn: fn, Args: args}
+}
+
+// --- Statements -------------------------------------------------------------
+
+// Set builds an assignment. lhs must be V(...) or At(...).
+func (b *FuncBuilder) Set(lhs, rhs ir.Expr) ir.Stmt {
+	switch lhs.(type) {
+	case *ir.VarRef, *ir.ArrayRef:
+	default:
+		panic(fmt.Sprintf("irbuild: invalid assignment target %T", lhs))
+	}
+	return &ir.Assign{Lhs: lhs, Rhs: rhs}
+}
+
+// If builds a one-armed conditional.
+func (b *FuncBuilder) If(cond ir.Expr, then ...ir.Stmt) ir.Stmt {
+	return &ir.If{Cond: cond, Then: then}
+}
+
+// IfElse builds a two-armed conditional.
+func (b *FuncBuilder) IfElse(cond ir.Expr, then, els []ir.Stmt) ir.Stmt {
+	return &ir.If{Cond: cond, Then: then, Else: els}
+}
+
+// Guard builds a compiler-inserted check removable by
+// delete-null-pointer-checks.
+func (b *FuncBuilder) Guard(cond ir.Expr, then ...ir.Stmt) ir.Stmt {
+	return &ir.If{Cond: cond, Then: then, Guard: true}
+}
+
+// For builds a counted loop with positive constant step.
+func (b *FuncBuilder) For(v string, from, to ir.Expr, step int64, body ...ir.Stmt) ir.Stmt {
+	if step <= 0 {
+		panic("irbuild: For step must be positive")
+	}
+	return &ir.For{Var: v, From: from, To: to, Step: step, Body: body}
+}
+
+// While builds a pre-test loop.
+func (b *FuncBuilder) While(cond ir.Expr, body ...ir.Stmt) ir.Stmt {
+	return &ir.While{Cond: cond, Body: body}
+}
+
+// Break exits the innermost loop.
+func (b *FuncBuilder) Break() ir.Stmt { return &ir.Break{} }
+
+// Ret builds a return statement (value may be nil).
+func (b *FuncBuilder) Ret(v ir.Expr) ir.Stmt { return &ir.Return{Value: v} }
+
+// Stmts groups statements into a slice (convenience for IfElse arms).
+func (b *FuncBuilder) Stmts(list ...ir.Stmt) []ir.Stmt { return list }

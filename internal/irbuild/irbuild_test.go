@@ -1,0 +1,91 @@
+package irbuild
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+)
+
+func TestBuilderShapes(t *testing.T) {
+	b := NewFunc("k")
+	b.ScalarParam("n", ir.I64).ArrayParam("x").Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("x", b.V("i")))),
+		),
+		b.Ret(b.V("s")),
+	)
+	if fn.Name != "k" || len(fn.Params) != 2 || len(fn.Locals) != 1 {
+		t.Fatalf("shape: %+v", fn)
+	}
+	if !fn.Params[1].IsArray {
+		t.Error("array param not marked")
+	}
+	loop, ok := fn.Body[0].(*ir.For)
+	if !ok || loop.Var != "i" || loop.Step != 1 {
+		t.Fatalf("loop shape: %+v", fn.Body[0])
+	}
+	if _, ok := fn.Body[1].(*ir.Return); !ok {
+		t.Error("return missing")
+	}
+}
+
+func TestBuilderOperators(t *testing.T) {
+	b := NewFunc("ops")
+	cases := []struct {
+		e    ir.Expr
+		op   ir.BinOp
+		typ  ir.Type
+		desc string
+	}{
+		{b.Add(b.I(1), b.I(2)), ir.OpAdd, ir.I64, "Add"},
+		{b.FAdd(b.F(1), b.F(2)), ir.OpAdd, ir.F64, "FAdd"},
+		{b.Mod(b.I(5), b.I(3)), ir.OpMod, ir.I64, "Mod"},
+		{b.Shl(b.I(1), b.I(3)), ir.OpShl, ir.I64, "Shl"},
+		{b.FLt(b.F(1), b.F(2)), ir.OpLt, ir.F64, "FLt"},
+		{b.Ge(b.I(1), b.I(2)), ir.OpGe, ir.I64, "Ge"},
+		{b.Xor(b.I(1), b.I(2)), ir.OpXor, ir.I64, "Xor"},
+	}
+	for _, c := range cases {
+		bin, ok := c.e.(*ir.Binary)
+		if !ok || bin.Op != c.op || bin.Typ != c.typ {
+			t.Errorf("%s: got %v", c.desc, c.e)
+		}
+	}
+	if u, ok := b.Neg(b.I(1)).(*ir.Unary); !ok || u.Op != ir.OpNeg {
+		t.Error("Neg broken")
+	}
+	if u, ok := b.Not(b.I(1)).(*ir.Unary); !ok || u.Op != ir.OpNot {
+		t.Error("Not broken")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewFunc("p")
+	expectPanic(t, "Set with non-lvalue", func() { b.Set(b.I(1), b.I(2)) })
+	expectPanic(t, "non-positive For step", func() { b.For("i", b.I(0), b.I(10), 0) })
+}
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestGuardMarksIf(t *testing.T) {
+	b := NewFunc("g")
+	b.ScalarParam("x", ir.I64)
+	g := b.Guard(b.Ge(b.V("x"), b.I(0)), b.Ret(b.V("x")))
+	ifs, ok := g.(*ir.If)
+	if !ok || !ifs.Guard {
+		t.Error("Guard must build a marked If")
+	}
+	plain := b.If(b.Ge(b.V("x"), b.I(0)), b.Ret(b.V("x")))
+	if plain.(*ir.If).Guard {
+		t.Error("If must not be marked as guard")
+	}
+}

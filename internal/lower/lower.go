@@ -1,0 +1,442 @@
+// Package lower translates HIR functions into LIR control-flow graphs.
+//
+// Lowering conventions:
+//   - every named scalar (parameter, local, loop variable) lives in a
+//     dedicated "home" virtual register; assignments move values into it;
+//   - global scalars are lowered to loads/stores of the reserved array
+//     GlobalsArray at a fixed per-scalar index, so they participate in
+//     memory liveness like any other array;
+//   - block 0 is the entry block; every function ends in TermReturn blocks.
+package lower
+
+import (
+	"fmt"
+
+	"peak/internal/ir"
+)
+
+// GlobalsArray is the reserved array name backing global scalars.
+const GlobalsArray = "$g"
+
+// GlobalIndex returns the index of the named global scalar inside
+// GlobalsArray, or -1 when the program has no such scalar.
+func GlobalIndex(p *ir.Program, name string) int {
+	for i, s := range p.Scalars {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+type loweringCtx struct {
+	prog    *ir.Program
+	fn      *ir.Func
+	blocks  []*ir.Block
+	cur     *ir.Block
+	nextReg ir.Reg
+	vars    map[string]ir.Reg
+	float   []bool
+	depth   int
+	// breakTargets is a stack of loop-exit block IDs for Break lowering.
+	breakTargets []int
+	sealed       map[*ir.Block]bool
+	err          error
+}
+
+// Lower translates fn (defined within prog) to LIR. It returns an error for
+// malformed HIR (unknown variables, bad assignment targets, calls to
+// undefined functions).
+func Lower(prog *ir.Program, fn *ir.Func) (*ir.LFunc, error) {
+	c := &loweringCtx{
+		prog:   prog,
+		fn:     fn,
+		vars:   make(map[string]ir.Reg),
+		sealed: make(map[*ir.Block]bool),
+	}
+	entry := c.newBlock()
+	c.cur = entry
+
+	lf := &ir.LFunc{
+		Name:        fn.Name,
+		Params:      append([]ir.Param(nil), fn.Params...),
+		NumCounters: fn.NumCounters,
+	}
+	for _, p := range fn.Params {
+		if p.IsArray {
+			lf.ParamRegs = append(lf.ParamRegs, ir.NoReg)
+			continue
+		}
+		r := c.allocReg(p.Typ == ir.F64)
+		c.vars[p.Name] = r
+		lf.ParamRegs = append(lf.ParamRegs, r)
+	}
+	for _, l := range fn.Locals {
+		// Locals start at zero; no explicit initialization is emitted
+		// because the execution engine zeroes all registers at entry
+		// (explicit movi-0 would stretch every local's live interval to
+		// the function entry and inflate register pressure).
+		r := c.allocReg(l.Typ == ir.F64)
+		c.vars[l.Name] = r
+	}
+
+	c.lowerStmts(fn.Body)
+	if c.err != nil {
+		return nil, c.err
+	}
+	// Terminate the final block with a return if it has no terminator yet.
+	c.sealReturn()
+
+	for _, b := range c.blocks {
+		b.Origin = b.ID
+	}
+	lf.Blocks = c.blocks
+	lf.NumRegs = int(c.nextReg)
+	lf.FloatReg = c.float
+	return lf, nil
+}
+
+func (c *loweringCtx) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("lower %s: %s", c.fn.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *loweringCtx) newBlock() *ir.Block {
+	b := &ir.Block{ID: len(c.blocks), LoopDepth: c.depth}
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+func (c *loweringCtx) allocReg(isFloat bool) ir.Reg {
+	r := c.nextReg
+	c.nextReg++
+	c.float = append(c.float, isFloat)
+	return r
+}
+
+func (c *loweringCtx) emit(in ir.Instr) {
+	c.cur.Instrs = append(c.cur.Instrs, in)
+}
+
+// seal sets the current block's terminator unless it already has one
+// (it ended in Return or Break).
+func (c *loweringCtx) seal(t ir.Terminator) {
+	if !c.isSealed(c.cur) {
+		c.cur.Term = t
+		c.sealed[c.cur] = true
+	}
+}
+
+func (c *loweringCtx) isSealed(b *ir.Block) bool { return c.sealed[b] }
+
+func (c *loweringCtx) sealReturn() {
+	c.seal(ir.Terminator{Kind: ir.TermReturn, Val: ir.NoReg})
+}
+
+func (c *loweringCtx) lowerStmts(list []ir.Stmt) {
+	for _, s := range list {
+		if c.err != nil || c.isSealed(c.cur) {
+			return
+		}
+		c.lowerStmt(s)
+	}
+}
+
+func (c *loweringCtx) lowerStmt(s ir.Stmt) {
+	switch st := s.(type) {
+	case *ir.Assign:
+		c.lowerAssign(st)
+	case *ir.If:
+		c.lowerIf(st)
+	case *ir.For:
+		c.lowerFor(st)
+	case *ir.While:
+		c.lowerWhile(st)
+	case *ir.Break:
+		if len(c.breakTargets) == 0 {
+			c.fail("break outside loop")
+			return
+		}
+		c.seal(ir.Terminator{Kind: ir.TermJump, Then: c.breakTargets[len(c.breakTargets)-1]})
+	case *ir.Return:
+		val := ir.NoReg
+		if st.Value != nil {
+			val = c.lowerExpr(st.Value)
+		}
+		c.seal(ir.Terminator{Kind: ir.TermReturn, Val: val})
+	case *ir.CallStmt:
+		c.lowerCall(&ir.CallExpr{Fn: st.Fn, Args: st.Args}, false)
+	case *ir.Counter:
+		c.emit(ir.Instr{Op: ir.LCount, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Src: ir.NoReg, Imm: int64(st.ID)})
+	default:
+		c.fail("unknown statement %T", s)
+	}
+}
+
+func (c *loweringCtx) lowerAssign(st *ir.Assign) {
+	switch lhs := st.Lhs.(type) {
+	case *ir.VarRef:
+		if gi := GlobalIndex(c.prog, lhs.Name); gi >= 0 && !c.isLocalName(lhs.Name) {
+			val := c.lowerExpr(st.Rhs)
+			idx := c.constReg(int64(gi))
+			c.emit(ir.Instr{Op: ir.LStore, Dst: ir.NoReg, A: idx, B: ir.NoReg, Src: val, Arr: GlobalsArray})
+			return
+		}
+		dst, ok := c.vars[lhs.Name]
+		if !ok {
+			c.fail("assignment to undeclared variable %q", lhs.Name)
+			return
+		}
+		val := c.lowerExpr(st.Rhs)
+		c.emit(ir.Instr{Op: ir.LMov, Dst: dst, A: val, B: ir.NoReg, Src: ir.NoReg})
+	case *ir.ArrayRef:
+		idx := c.lowerExpr(lhs.Index)
+		val := c.lowerExpr(st.Rhs)
+		c.emit(ir.Instr{Op: ir.LStore, Dst: ir.NoReg, A: idx, B: ir.NoReg, Src: val, Arr: lhs.Name})
+	default:
+		c.fail("invalid assignment target %T", st.Lhs)
+	}
+}
+
+func (c *loweringCtx) isLocalName(name string) bool {
+	_, ok := c.vars[name]
+	return ok
+}
+
+func (c *loweringCtx) lowerIf(st *ir.If) {
+	cond := c.lowerExpr(st.Cond)
+	thenB := c.newBlock()
+	var elseB *ir.Block
+	if len(st.Else) > 0 {
+		elseB = c.newBlock()
+	}
+	joinB := c.newBlock()
+	elseID := joinB.ID
+	if elseB != nil {
+		elseID = elseB.ID
+	}
+	c.seal(ir.Terminator{Kind: ir.TermBranch, Cond: cond, Then: thenB.ID, Else: elseID})
+
+	c.cur = thenB
+	c.lowerStmts(st.Then)
+	c.seal(ir.Terminator{Kind: ir.TermJump, Then: joinB.ID})
+
+	if elseB != nil {
+		c.cur = elseB
+		c.lowerStmts(st.Else)
+		c.seal(ir.Terminator{Kind: ir.TermJump, Then: joinB.ID})
+	}
+	c.cur = joinB
+}
+
+func (c *loweringCtx) lowerFor(st *ir.For) {
+	v, ok := c.vars[st.Var]
+	if !ok {
+		// Loop variables may be implicitly declared.
+		v = c.allocReg(false)
+		c.vars[st.Var] = v
+	}
+	from := c.lowerExpr(st.From)
+	c.emit(ir.Instr{Op: ir.LMov, Dst: v, A: from, B: ir.NoReg, Src: ir.NoReg})
+
+	header := c.newBlock()
+	c.seal(ir.Terminator{Kind: ir.TermJump, Then: header.ID})
+
+	c.depth++
+	c.cur = header
+	header.LoopDepth = c.depth
+	to := c.lowerExpr(st.To)
+	cond := c.allocReg(false)
+	c.emit(ir.Instr{Op: ir.LCmpLt, Dst: cond, A: v, B: to, Src: ir.NoReg})
+
+	body := c.newBlock()
+	body.LoopDepth = c.depth
+	c.depth--
+	exit := c.newBlock()
+	c.seal(ir.Terminator{Kind: ir.TermBranch, Cond: cond, Then: body.ID, Else: exit.ID})
+
+	c.depth++
+	c.cur = body
+	c.breakTargets = append(c.breakTargets, exit.ID)
+	c.lowerStmts(st.Body)
+	c.breakTargets = c.breakTargets[:len(c.breakTargets)-1]
+	if !c.isSealed(c.cur) {
+		step := c.constReg(st.Step)
+		c.emit(ir.Instr{Op: ir.LAdd, Dst: v, A: v, B: step, Src: ir.NoReg})
+		c.seal(ir.Terminator{Kind: ir.TermJump, Then: header.ID})
+	}
+	c.depth--
+	c.cur = exit
+}
+
+func (c *loweringCtx) lowerWhile(st *ir.While) {
+	header := c.newBlock()
+	c.seal(ir.Terminator{Kind: ir.TermJump, Then: header.ID})
+
+	c.depth++
+	c.cur = header
+	header.LoopDepth = c.depth
+	cond := c.lowerExpr(st.Cond)
+	body := c.newBlock()
+	body.LoopDepth = c.depth
+	c.depth--
+	exit := c.newBlock()
+	c.seal(ir.Terminator{Kind: ir.TermBranch, Cond: cond, Then: body.ID, Else: exit.ID})
+
+	c.depth++
+	c.cur = body
+	c.breakTargets = append(c.breakTargets, exit.ID)
+	c.lowerStmts(st.Body)
+	c.breakTargets = c.breakTargets[:len(c.breakTargets)-1]
+	c.seal(ir.Terminator{Kind: ir.TermJump, Then: header.ID})
+	c.depth--
+	c.cur = exit
+}
+
+func (c *loweringCtx) constReg(v int64) ir.Reg {
+	r := c.allocReg(false)
+	c.emit(ir.Instr{Op: ir.LMovI, Dst: r, A: ir.NoReg, B: ir.NoReg, Src: ir.NoReg, Imm: v})
+	return r
+}
+
+func (c *loweringCtx) lowerExpr(e ir.Expr) ir.Reg {
+	switch ex := e.(type) {
+	case *ir.ConstInt:
+		return c.constReg(ex.V)
+	case *ir.ConstFloat:
+		r := c.allocReg(true)
+		c.emit(ir.Instr{Op: ir.LMovF, Dst: r, A: ir.NoReg, B: ir.NoReg, Src: ir.NoReg, FImm: ex.V})
+		return r
+	case *ir.VarRef:
+		if r, ok := c.vars[ex.Name]; ok {
+			return r
+		}
+		if gi := GlobalIndex(c.prog, ex.Name); gi >= 0 {
+			idx := c.constReg(int64(gi))
+			r := c.allocReg(c.globalIsFloat(ex.Name))
+			c.emit(ir.Instr{Op: ir.LLoad, Dst: r, A: idx, B: ir.NoReg, Src: ir.NoReg, Arr: GlobalsArray})
+			return r
+		}
+		c.fail("reference to undeclared variable %q", ex.Name)
+		return c.allocReg(false)
+	case *ir.ArrayRef:
+		idx := c.lowerExpr(ex.Index)
+		isF := true
+		if a, ok := c.prog.Array(ex.Name); ok {
+			isF = a.Typ == ir.F64
+		}
+		r := c.allocReg(isF)
+		c.emit(ir.Instr{Op: ir.LLoad, Dst: r, A: idx, B: ir.NoReg, Src: ir.NoReg, Arr: ex.Name})
+		return r
+	case *ir.Unary:
+		x := c.lowerExpr(ex.X)
+		op := ir.LNeg
+		isF := c.float[x]
+		switch ex.Op {
+		case ir.OpNeg:
+			if isF {
+				op = ir.LFNeg
+			}
+		case ir.OpNot:
+			op = ir.LNot
+			isF = false
+		}
+		r := c.allocReg(isF)
+		c.emit(ir.Instr{Op: op, Dst: r, A: x, B: ir.NoReg, Src: ir.NoReg})
+		return r
+	case *ir.Binary:
+		x := c.lowerExpr(ex.X)
+		y := c.lowerExpr(ex.Y)
+		op, isF := binaryOpcode(ex)
+		r := c.allocReg(isF && !ex.Op.IsComparison())
+		c.emit(ir.Instr{Op: op, Dst: r, A: x, B: y, Src: ir.NoReg})
+		return r
+	case *ir.CallExpr:
+		return c.lowerCall(ex, true)
+	case *ir.Select:
+		cond := c.lowerExpr(ex.Cond)
+		x := c.lowerExpr(ex.X)
+		y := c.lowerExpr(ex.Y)
+		r := c.allocReg(c.float[x] || c.float[y])
+		c.emit(ir.Instr{Op: ir.LSelect, Dst: r, A: cond, B: x, Src: y})
+		return r
+	default:
+		c.fail("unknown expression %T", e)
+		return c.allocReg(false)
+	}
+}
+
+func (c *loweringCtx) globalIsFloat(name string) bool {
+	for _, s := range c.prog.Scalars {
+		if s.Name == name {
+			return s.Typ == ir.F64
+		}
+	}
+	return false
+}
+
+func (c *loweringCtx) lowerCall(ex *ir.CallExpr, needValue bool) ir.Reg {
+	if _, ok := ir.IsIntrinsic(ex.Fn); !ok {
+		if _, ok := c.prog.Funcs[ex.Fn]; !ok {
+			c.fail("call to undefined function %q", ex.Fn)
+			return c.allocReg(false)
+		}
+	}
+	args := make([]ir.Reg, len(ex.Args))
+	for i, a := range ex.Args {
+		args[i] = c.lowerExpr(a)
+	}
+	dst := ir.NoReg
+	if needValue {
+		dst = c.allocReg(true)
+	}
+	c.emit(ir.Instr{Op: ir.LCall, Dst: dst, A: ir.NoReg, B: ir.NoReg, Src: ir.NoReg, Fn: ex.Fn, CallArgs: args})
+	return dst
+}
+
+func binaryOpcode(ex *ir.Binary) (ir.Opcode, bool) {
+	isF := ex.Typ == ir.F64
+	if ex.Op.IsComparison() {
+		base := ir.LCmpEq
+		if isF {
+			base = ir.LFCmpEq
+		}
+		return base + ir.Opcode(ex.Op-ir.OpEq), isF
+	}
+	switch ex.Op {
+	case ir.OpAdd:
+		if isF {
+			return ir.LFAdd, true
+		}
+		return ir.LAdd, false
+	case ir.OpSub:
+		if isF {
+			return ir.LFSub, true
+		}
+		return ir.LSub, false
+	case ir.OpMul:
+		if isF {
+			return ir.LFMul, true
+		}
+		return ir.LMul, false
+	case ir.OpDiv:
+		if isF {
+			return ir.LFDiv, true
+		}
+		return ir.LDiv, false
+	case ir.OpMod:
+		return ir.LMod, false
+	case ir.OpAnd:
+		return ir.LAnd, false
+	case ir.OpOr:
+		return ir.LOr, false
+	case ir.OpXor:
+		return ir.LXor, false
+	case ir.OpShl:
+		return ir.LShl, false
+	case ir.OpShr:
+		return ir.LShr, false
+	}
+	return ir.LNop, false
+}

@@ -1,0 +1,205 @@
+package lower
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+)
+
+func lowerOK(t *testing.T, prog *ir.Program, fn *ir.Func) *ir.LFunc {
+	t.Helper()
+	lf, err := Lower(prog, fn)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return lf
+}
+
+func TestStraightLine(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.I64).Local("y", ir.I64)
+	fn := b.Body(
+		b.Set(b.V("y"), b.Add(b.V("x"), b.I(1))),
+		b.Ret(b.V("y")),
+	)
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	if len(lf.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(lf.Blocks))
+	}
+	if lf.Blocks[0].Term.Kind != ir.TermReturn {
+		t.Errorf("terminator = %v, want return", lf.Blocks[0].Term.Kind)
+	}
+	if len(lf.ParamRegs) != 1 || lf.ParamRegs[0] == ir.NoReg {
+		t.Errorf("param regs = %v", lf.ParamRegs)
+	}
+}
+
+func TestIfElseCFG(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.I64).Local("y", ir.I64)
+	fn := b.Body(
+		b.IfElse(b.Gt(b.V("x"), b.I(0)),
+			b.Stmts(b.Set(b.V("y"), b.I(1))),
+			b.Stmts(b.Set(b.V("y"), b.I(2))),
+		),
+		b.Ret(b.V("y")),
+	)
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	// entry + then + else + join = 4 blocks.
+	if len(lf.Blocks) != 4 {
+		t.Errorf("blocks = %d, want 4", len(lf.Blocks))
+	}
+	entry := lf.Blocks[0]
+	if entry.Term.Kind != ir.TermBranch {
+		t.Fatalf("entry terminator = %v, want branch", entry.Term.Kind)
+	}
+	if len(entry.Succs()) != 2 {
+		t.Errorf("entry succs = %v", entry.Succs())
+	}
+}
+
+func TestLoopDepths(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 16)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.For("j", b.I(0), b.V("n"), 1,
+				b.Set(b.At("a", b.V("j")), b.F(1)),
+			),
+		),
+	)
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	max := 0
+	for _, blk := range lf.Blocks {
+		if blk.LoopDepth > max {
+			max = blk.LoopDepth
+		}
+	}
+	if max != 2 {
+		t.Errorf("max loop depth = %d, want 2", max)
+	}
+	if lf.Blocks[0].LoopDepth != 0 {
+		t.Errorf("entry depth = %d, want 0", lf.Blocks[0].LoopDepth)
+	}
+}
+
+func TestBreakTargetsLoopExit(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("i", ir.I64)
+	fn := b.Body(
+		b.While(b.Lt(b.V("i"), b.V("n")),
+			b.If(b.Gt(b.V("i"), b.I(3)), b.Break()),
+			b.Set(b.V("i"), b.Add(b.V("i"), b.I(1))),
+		),
+		b.Ret(b.V("i")),
+	)
+	prog.AddFunc(fn)
+	lowerOK(t, prog, fn) // must not error
+}
+
+func TestErrors(t *testing.T) {
+	prog := ir.NewProgram()
+
+	b := irbuild.NewFunc("breakless")
+	fn := b.Body(b.Break())
+	prog.AddFunc(fn)
+	if _, err := Lower(prog, fn); err == nil {
+		t.Error("break outside loop must fail")
+	}
+
+	b2 := irbuild.NewFunc("undef")
+	fn2 := b2.Body(b2.Ret(b2.V("nope")))
+	prog.AddFunc(fn2)
+	if _, err := Lower(prog, fn2); err == nil {
+		t.Error("undeclared variable must fail")
+	}
+
+	b3 := irbuild.NewFunc("badcall")
+	fn3 := b3.Body(b3.Ret(b3.Call("missing")))
+	prog.AddFunc(fn3)
+	if _, err := Lower(prog, fn3); err == nil {
+		t.Error("call to undefined function must fail")
+	}
+}
+
+func TestGlobalsLowerToMemory(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddScalar("g1", ir.I64)
+	prog.AddScalar("g2", ir.F64)
+	if GlobalIndex(prog, "g2") != 1 || GlobalIndex(prog, "nope") != -1 {
+		t.Error("GlobalIndex broken")
+	}
+	b := irbuild.NewFunc("f")
+	fn := b.Body(
+		b.Set(b.V("g1"), b.Add(b.V("g1"), b.I(1))),
+		b.Ret(b.V("g2")),
+	)
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	loads, stores := 0, 0
+	for _, blk := range lf.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.LLoad && in.Arr == GlobalsArray {
+				loads++
+			}
+			if in.Op == ir.LStore && in.Arr == GlobalsArray {
+				stores++
+			}
+		}
+	}
+	if loads != 2 || stores != 1 {
+		t.Errorf("globals: %d loads, %d stores; want 2, 1", loads, stores)
+	}
+}
+
+func TestOriginsAssigned(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1, b.Set(b.V("s"), b.Add(b.V("s"), b.V("i")))),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	for _, blk := range lf.Blocks {
+		if blk.Origin != blk.ID {
+			t.Errorf("block %d origin = %d, want its own ID", blk.ID, blk.Origin)
+		}
+	}
+}
+
+func TestCounterLowering(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64)
+	fn := b.Fn()
+	fn.Body = []ir.Stmt{
+		&ir.Counter{ID: 0},
+		&ir.Return{},
+	}
+	fn.NumCounters = 1
+	prog.AddFunc(fn)
+	lf := lowerOK(t, prog, fn)
+	if lf.NumCounters != 1 {
+		t.Errorf("NumCounters = %d, want 1", lf.NumCounters)
+	}
+	found := false
+	for _, in := range lf.Blocks[0].Instrs {
+		if in.Op == ir.LCount && in.Imm == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("LCount instruction missing")
+	}
+}

@@ -1,0 +1,189 @@
+// Package machine describes the simulated target machines.
+//
+// The paper evaluates on a SPARC II and a Pentium IV. The rating problem
+// depends on machines only through (a) measurement timing behaviour and
+// (b) machine-dependent optimization payoffs. Both are captured by a cost
+// model: per-opcode issue costs and result latencies, a branch predictor
+// penalty, a two-level data cache, the number of allocatable registers, and
+// spill costs. The register-file difference (SPARC: large windowed file,
+// P4: 8 architectural integer registers) is what flips the sign of
+// strict-aliasing on ART in the paper's Figure 7(b).
+package machine
+
+import "peak/internal/ir"
+
+// CacheGeometry configures one cache level.
+type CacheGeometry struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// HitLatency is charged on a hit at this level.
+	HitLatency int64
+}
+
+// Machine is a simulated target description. All costs are in cycles.
+type Machine struct {
+	Name string
+
+	// IntRegs and FloatRegs are the numbers of allocatable registers.
+	// omit-frame-pointer adds one integer register.
+	IntRegs   int
+	FloatRegs int
+
+	// OpCost is the issue cost per opcode; OpLatency is the extra delay
+	// until the result may be consumed (exposed unless hidden by
+	// instruction scheduling). Dense tables indexed by opcode.
+	OpCost    [ir.NumOpcodes]int64
+	OpLatency [ir.NumOpcodes]int64
+
+	// MispredictPenalty is charged on a branch mispredict (deep pipelines
+	// pay more).
+	MispredictPenalty int64
+	// TakenBranchCost is charged for every taken branch/jump (fetch
+	// redirect); reorder-blocks and alignment flags reduce exposure to it.
+	TakenBranchCost int64
+
+	L1, L2 CacheGeometry
+	// MemLatency is charged on an access missing both cache levels.
+	MemLatency int64
+
+	// SpillLoadCost / SpillStoreCost are charged per access to a spilled
+	// virtual register (stack traffic, assumed L1-resident).
+	SpillLoadCost  int64
+	SpillStoreCost int64
+
+	// CallOverhead is the fixed cost of a call (save/restore, linkage).
+	CallOverhead int64
+	// IntrinsicCost is the execution cost of a math intrinsic body.
+	IntrinsicCost int64
+
+	// ICacheInstrs is the instruction-cache capacity in instructions;
+	// versions larger than this pay a per-block-entry fetch penalty
+	// proportional to the overflow (how unrolling/inlining/alignment hurt).
+	ICacheInstrs int
+	// FetchPenalty scales the icache overflow cost.
+	FetchPenalty float64
+
+	// NoiseStdDev is the relative standard deviation of measurement noise
+	// (timer jitter); OutlierProb and OutlierScale model rare system
+	// perturbations such as interrupts (paper §3).
+	NoiseStdDev  float64
+	OutlierProb  float64
+	OutlierScale float64
+}
+
+func baseCosts(intCost, fpCost, mulCost, divCost, fdivCost int64) (cost, lat [ir.NumOpcodes]int64) {
+	intOps := []ir.Opcode{
+		ir.LMovI, ir.LMov, ir.LAdd, ir.LSub, ir.LAnd, ir.LOr, ir.LXor,
+		ir.LShl, ir.LShr, ir.LNeg, ir.LNot,
+		ir.LCmpEq, ir.LCmpNe, ir.LCmpLt, ir.LCmpLe, ir.LCmpGt, ir.LCmpGe,
+		ir.LSelect,
+	}
+	for _, op := range intOps {
+		cost[op] = intCost
+		lat[op] = 0
+	}
+	fpOps := []ir.Opcode{
+		ir.LMovF, ir.LFAdd, ir.LFSub, ir.LFNeg,
+		ir.LFCmpEq, ir.LFCmpNe, ir.LFCmpLt, ir.LFCmpLe, ir.LFCmpGt, ir.LFCmpGe,
+	}
+	for _, op := range fpOps {
+		cost[op] = fpCost
+		lat[op] = 2
+	}
+	cost[ir.LMul] = mulCost
+	lat[ir.LMul] = 2
+	cost[ir.LFMul] = fpCost
+	lat[ir.LFMul] = 3
+	cost[ir.LDiv] = divCost
+	lat[ir.LDiv] = divCost / 2
+	cost[ir.LMod] = divCost
+	lat[ir.LMod] = divCost / 2
+	cost[ir.LFDiv] = fdivCost
+	lat[ir.LFDiv] = fdivCost / 2
+	cost[ir.LLoad] = 1 // plus cache latency
+	lat[ir.LLoad] = 1
+	cost[ir.LStore] = 1
+	lat[ir.LStore] = 0
+	cost[ir.LCall] = 1
+	lat[ir.LCall] = 1
+	cost[ir.LNop] = 0
+	cost[ir.LCount] = 0 // instrumentation counters are free (paper §2.3)
+	return cost, lat
+}
+
+// SPARCII returns a SPARC-II-like machine: in-order, shallow pipeline, a
+// large register file (register windows), modest clock so memory is
+// relatively close.
+func SPARCII() *Machine {
+	cost, lat := baseCosts(1, 2, 4, 24, 28)
+	return &Machine{
+		Name:              "sparc2",
+		IntRegs:           20,
+		FloatRegs:         24,
+		OpCost:            cost,
+		OpLatency:         lat,
+		MispredictPenalty: 4,
+		TakenBranchCost:   1,
+		L1:                CacheGeometry{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1, HitLatency: 1},
+		L2:                CacheGeometry{SizeBytes: 512 << 10, LineBytes: 64, Assoc: 4, HitLatency: 8},
+		MemLatency:        40,
+		SpillLoadCost:     2,
+		SpillStoreCost:    2,
+		CallOverhead:      6,
+		IntrinsicCost:     18,
+		ICacheInstrs:      1400,
+		FetchPenalty:      2.0,
+		NoiseStdDev:       0.012,
+		OutlierProb:       0.004,
+		OutlierScale:      0.6,
+	}
+}
+
+// PentiumIV returns a Pentium-4-like machine: deep pipeline (large
+// mispredict penalty), few architectural registers, memory far away in
+// cycles, strong FP throughput.
+func PentiumIV() *Machine {
+	cost, lat := baseCosts(1, 2, 3, 30, 32)
+	// Deep pipeline: results take longer to become consumable.
+	lat[ir.LMul] = 4
+	lat[ir.LFMul] = 5
+	lat[ir.LFAdd] = 4
+	lat[ir.LFSub] = 4
+	lat[ir.LLoad] = 2
+	return &Machine{
+		Name:              "p4",
+		IntRegs:           7,
+		FloatRegs:         8,
+		OpCost:            cost,
+		OpLatency:         lat,
+		MispredictPenalty: 20,
+		TakenBranchCost:   1,
+		L1:                CacheGeometry{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4, HitLatency: 2},
+		L2:                CacheGeometry{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, HitLatency: 14},
+		MemLatency:        120,
+		// The NetBurst store-to-load-forwarding stall makes stack spill
+		// traffic disproportionately expensive — the mechanism behind the
+		// paper's ART strict-aliasing anecdote (§5.2).
+		SpillLoadCost:  9,
+		SpillStoreCost: 9,
+		CallOverhead:   8,
+		IntrinsicCost:  22,
+		ICacheInstrs:   1100,
+		FetchPenalty:   2.5,
+		NoiseStdDev:    0.015,
+		OutlierProb:    0.005,
+		OutlierScale:   0.8,
+	}
+}
+
+// ByName returns the machine with the given name ("sparc2" or "p4").
+func ByName(name string) (*Machine, bool) {
+	switch name {
+	case "sparc2", "sparcII", "sparc":
+		return SPARCII(), true
+	case "p4", "pentium4", "pentiumIV":
+		return PentiumIV(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+)
+
+func TestMachineTablesComplete(t *testing.T) {
+	for _, m := range []*Machine{SPARCII(), PentiumIV()} {
+		for op := ir.Opcode(0); op < ir.NumOpcodes; op++ {
+			switch op {
+			case ir.LNop, ir.LCount:
+				if m.OpCost[op] != 0 {
+					t.Errorf("%s: %s must be free", m.Name, op)
+				}
+			default:
+				if m.OpCost[op] <= 0 {
+					t.Errorf("%s: missing cost for %s", m.Name, op)
+				}
+			}
+			if m.OpLatency[op] < 0 {
+				t.Errorf("%s: negative latency for %s", m.Name, op)
+			}
+		}
+		if m.IntRegs <= 0 || m.FloatRegs <= 0 {
+			t.Errorf("%s: register counts %d/%d", m.Name, m.IntRegs, m.FloatRegs)
+		}
+		if m.L1.SizeBytes <= 0 || m.L2.SizeBytes < m.L1.SizeBytes {
+			t.Errorf("%s: cache geometry broken", m.Name)
+		}
+		if m.NoiseStdDev <= 0 || m.OutlierProb <= 0 {
+			t.Errorf("%s: noise model missing", m.Name)
+		}
+	}
+}
+
+func TestMachineContrast(t *testing.T) {
+	s, p := SPARCII(), PentiumIV()
+	// The paper's §5.2 contrast: "the SPARC II machine has more general
+	// purpose registers than the Pentium IV machine".
+	if s.IntRegs <= p.IntRegs || s.FloatRegs <= p.FloatRegs {
+		t.Error("SPARC II must have the larger register file")
+	}
+	// Deep NetBurst pipeline: high mispredict penalty and spill cost.
+	if p.MispredictPenalty <= s.MispredictPenalty {
+		t.Error("Pentium IV must pay more per mispredict")
+	}
+	if p.SpillLoadCost <= s.SpillLoadCost {
+		t.Error("Pentium IV spill traffic must be the more expensive")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sparc2", "sparcII", "sparc"} {
+		if m, ok := ByName(name); !ok || m.Name != "sparc2" {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	for _, name := range []string{"p4", "pentium4", "pentiumIV"} {
+		if m, ok := ByName(name); !ok || m.Name != "p4" {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("vax"); ok {
+		t.Error("ByName accepted junk")
+	}
+}

@@ -1,0 +1,259 @@
+package opt
+
+import (
+	"fmt"
+
+	"peak/internal/ir"
+	"peak/internal/lower"
+	"peak/internal/machine"
+	"peak/internal/regalloc"
+	"peak/internal/sim"
+)
+
+// Compile translates fn (within prog) into a runnable version for machine m
+// under the given optimization flags. The paper's tuning system calls this
+// once per explored flag combination per tuning section ("the Remote
+// Optimizer can be any compiler", §4.2).
+//
+// Pass pipeline (HIR → LIR → allocation → cost modifiers):
+//
+//	inline-functions → delete-null-pointer-checks → fold (always) →
+//	cprop-registers → loop-optimize/gcse-lm/gcse-sm → strength-reduce →
+//	rerun-loop-opt → unroll-loops → CSE family → rerun-cse-after-loop →
+//	if-conversion(2) → fold/dce (always) → lower →
+//	regmove → peephole2 → rename-registers → schedule-insns(+interblock) →
+//	thread-jumps → guess-branch-probability → reorder-blocks →
+//	register allocation (omit-frame-pointer, caller-saves) →
+//	schedule-insns2 → crossjumping/alignment/call-linkage cost modifiers.
+func Compile(prog *ir.Program, fn *ir.Func, flags FlagSet, m *machine.Machine) (*sim.Version, error) {
+	return compileInner(prog, fn, flags, m, 0)
+}
+
+const maxCalleeDepth = 8
+
+func compileInner(prog *ir.Program, fn *ir.Func, flags FlagSet, m *machine.Machine, depth int) (*sim.Version, error) {
+	if depth > maxCalleeDepth {
+		return nil, fmt.Errorf("opt: callee nesting exceeds %d in %s", maxCalleeDepth, fn.Name)
+	}
+	work := fn.Clone()
+	namer := newTempNamer(work)
+
+	// --- HIR passes -------------------------------------------------------
+	if flags.Has(FInlineFunctions) {
+		inlineCalls(work, prog, namer)
+	}
+	if flags.Has(FDeleteNullPointerChecks) {
+		removeGuards(work)
+	}
+	foldConstants(work)
+	if flags.Has(FCPropRegisters) {
+		propagateCopies(work)
+	}
+
+	licm := licmOpts{
+		loads:       flags.Has(FGCSELoadMotion) && flags.Has(FLoopOptimize),
+		stores:      flags.Has(FGCSEStoreMotion) && flags.Has(FExpensiveOptimizations),
+		strictAlias: flags.Has(FStrictAliasing),
+	}
+	if flags.Has(FLoopOptimize) {
+		hoistInvariants(work, prog, licm, namer)
+	}
+	if flags.Has(FStrengthReduce) {
+		reduceStrength(work, prog, flags.Has(FExpensiveOptimizations), namer)
+	}
+	if flags.Has(FRerunLoopOpt) && flags.Has(FLoopOptimize) {
+		hoistInvariants(work, prog, licm, namer)
+	}
+	if flags.Has(FUnrollLoops) {
+		unrollLoops(work, prog, namer)
+	}
+
+	cse := cseOpts{
+		followJumps: flags.Has(FCSEFollowJumps),
+		skipBlocks:  flags.Has(FCSESkipBlocks),
+		global:      flags.Has(FGCSE),
+		strictAlias: flags.Has(FStrictAliasing),
+		loadReuse: (flags.Has(FGCSE) || flags.Has(FForceMem)) &&
+			flags.Has(FStrictAliasing),
+	}
+	eliminateCommonSubexprs(work, prog, cse, namer)
+	if flags.Has(FRerunCSEAfterLoop) {
+		eliminateCommonSubexprs(work, prog, cse, namer)
+	}
+
+	if flags.Has(FIfConversion) {
+		convertIfs(work, prog, ifConvOpts{
+			basic:      true,
+			aggressive: flags.Has(FIfConversion2),
+		}, namer)
+	}
+	foldConstants(work)
+	if flags.Has(FCPropRegisters) {
+		propagateCopies(work)
+	}
+	eliminateDeadCode(work, prog)
+
+	// --- Lowering and LIR passes -----------------------------------------
+	lf, err := lower.Lower(prog, work)
+	if err != nil {
+		return nil, err
+	}
+	if flags.Has(FRegmove) {
+		coalesceMoves(lf)
+	}
+	if flags.Has(FPeephole2) {
+		peephole(lf)
+	}
+	if flags.Has(FRenameRegisters) {
+		renameRegisters(lf)
+	}
+	sched := schedOpts{
+		interblock:  flags.Has(FSchedInterblock),
+		strictAlias: flags.Has(FStrictAliasing),
+		latency:     func(op ir.Opcode) int64 { return m.OpLatency[op] },
+	}
+	if flags.Has(FScheduleInsns) {
+		scheduleBlocks(lf, sched)
+	}
+	if flags.Has(FThreadJumps) {
+		threadJumps(lf)
+	}
+	if flags.Has(FGuessBranchProbability) || flags.Has(FBranchProbabilities) {
+		applyBranchHints(lf)
+	}
+	if flags.Has(FReorderBlocks) {
+		reorderBlockLayout(lf, flags.Has(FGuessBranchProbability) || flags.Has(FBranchProbabilities))
+	}
+
+	// --- Register allocation ----------------------------------------------
+	intRegs, floatRegs := m.IntRegs, m.FloatRegs
+	if flags.Has(FOmitFramePointer) {
+		intRegs++
+	}
+	hasCalls := lfHasCalls(lf)
+	if hasCalls && !flags.Has(FCallerSaves) {
+		// Without caller-saves, values live across calls are confined to
+		// the callee-saved subset.
+		intRegs -= 2
+		floatRegs -= 2
+		if intRegs < 2 {
+			intRegs = 2
+		}
+		if floatRegs < 2 {
+			floatRegs = 2
+		}
+	}
+	alloc := regalloc.Allocate(lf, intRegs, floatRegs)
+
+	if flags.Has(FScheduleInsns2) && flags.Has(FScheduleInsns) {
+		spillSched := sched
+		spillSched.spillAware = alloc.Spilled
+		spillSched.extraSpillLat = m.SpillLoadCost
+		scheduleBlocks(lf, spillSched)
+		alloc = regalloc.Allocate(lf, intRegs, floatRegs)
+	}
+
+	if err := ir.VerifyLFunc(lf); err != nil {
+		return nil, fmt.Errorf("opt: post-pipeline verification failed for %s under %s: %w",
+			fn.Name, flags, err)
+	}
+
+	// --- Cost modifiers -----------------------------------------------------
+	mods := sim.DefaultCostMods()
+	codeSize := lf.InstrCount()
+	if flags.Has(FCrossjumping) {
+		codeSize -= crossjumpSavings(lf)
+	}
+	if flags.Has(FAlignFunctions) {
+		mods.CodeSizeExtra += 8
+	}
+	if flags.Has(FAlignJumps) {
+		mods.TakenBranchFactor *= 0.93
+		mods.CodeSizeExtra += codeSize / 24
+	}
+	if flags.Has(FAlignLabels) {
+		mods.TakenBranchFactor *= 0.95
+		mods.CodeSizeExtra += codeSize / 32
+	}
+	if flags.Has(FAlignLoops) {
+		mods.TakenBranchFactor *= 0.88
+		mods.CodeSizeExtra += codeSize / 16
+	}
+	if flags.Has(FDelayedBranch) && m.Name == "sparc2" {
+		mods.TakenBranchFactor *= 0.70
+	}
+	if flags.Has(FDeferPop) {
+		mods.CallOverheadFactor *= 0.90
+	}
+	if flags.Has(FOptimizeSiblingCalls) && hasCalls {
+		mods.CallOverheadFactor *= 0.95
+	}
+	if hasCalls && flags.Has(FCallerSaves) {
+		// Saving caller-saved registers around calls is not free.
+		mods.CallOverheadFactor *= 1.10
+	}
+	mods.StaticPredict = flags.Has(FGuessBranchProbability) || flags.Has(FBranchProbabilities)
+
+	v := &sim.Version{
+		LF:         lf,
+		Alloc:      alloc,
+		Mods:       mods,
+		CodeSize:   codeSize,
+		NumOrigins: numOrigins(lf),
+		Label:      flags.String(),
+	}
+
+	// --- Callees ------------------------------------------------------------
+	callees := map[string]bool{}
+	collectCallees(lf, callees)
+	if len(callees) > 0 {
+		v.Callees = make(map[string]*sim.Version, len(callees))
+		for name := range callees {
+			calleeFn, ok := prog.Funcs[name]
+			if !ok {
+				return nil, fmt.Errorf("opt: %s calls undefined function %q", fn.Name, name)
+			}
+			cv, err := compileInner(prog, calleeFn, flags, m, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			v.Callees[name] = cv
+			v.CodeSize += cv.CodeSize
+		}
+	}
+	return v, nil
+}
+
+func lfHasCalls(f *ir.LFunc) bool {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.LCall {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectCallees(f *ir.LFunc, out map[string]bool) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.LCall {
+				if _, intrinsic := ir.IsIntrinsic(in.Fn); !intrinsic {
+					out[in.Fn] = true
+				}
+			}
+		}
+	}
+}
+
+func numOrigins(f *ir.LFunc) int {
+	max := 0
+	for _, b := range f.Blocks {
+		if b.Origin >= max {
+			max = b.Origin + 1
+		}
+	}
+	return max
+}

@@ -1,0 +1,185 @@
+package opt
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+)
+
+// countLoads counts array loads of name in the statement list.
+func countLoads(list []ir.Stmt, name string) int {
+	n := 0
+	rewriteStmtExprs(list, func(e ir.Expr) ir.Expr {
+		if ar, ok := e.(*ir.ArrayRef); ok && ar.Name == name {
+			n++
+		}
+		return e
+	})
+	return n
+}
+
+func cseKernel() (*ir.Program, *ir.Func) {
+	// Two identical loads of a[0] separated by a store to b: reusable
+	// only under strict aliasing.
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 8)
+	prog.AddArray("b", ir.F64, 8)
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.F64).Local("p", ir.F64).Local("q", ir.F64)
+	fn := bb.Body(
+		bb.Set(bb.V("p"), bb.FMul(bb.At("a", bb.I(0)), bb.FAdd(bb.V("x"), bb.F(1)))),
+		bb.Set(bb.At("b", bb.I(1)), bb.V("p")),
+		bb.Set(bb.V("q"), bb.FMul(bb.At("a", bb.I(0)), bb.FAdd(bb.V("x"), bb.F(1)))),
+		bb.Ret(bb.FAdd(bb.V("p"), bb.V("q"))),
+	)
+	prog.AddFunc(fn)
+	return prog, fn
+}
+
+func TestCSELoadReuseNeedsStrictAliasing(t *testing.T) {
+	prog, fn := cseKernel()
+
+	strict := fn.Clone()
+	eliminateCommonSubexprs(strict, prog,
+		cseOpts{global: true, strictAlias: true, loadReuse: true}, newTempNamer(strict))
+	if got := countLoads(strict.Body, "a"); got != 1 {
+		t.Errorf("strict aliasing: %d loads of a, want 1 (reused across the b-store)", got)
+	}
+
+	lax := fn.Clone()
+	eliminateCommonSubexprs(lax, prog,
+		cseOpts{global: true, strictAlias: false, loadReuse: true}, newTempNamer(lax))
+	if got := countLoads(lax.Body, "a"); got != 2 {
+		t.Errorf("no strict aliasing: %d loads of a, want 2 (store kills the fact)", got)
+	}
+}
+
+func TestCSEStoreToSameArrayAlwaysKills(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 8)
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.F64).Local("p", ir.F64).Local("q", ir.F64)
+	fn := bb.Body(
+		bb.Set(bb.V("p"), bb.FAdd(bb.At("a", bb.I(0)), bb.V("x"))),
+		bb.Set(bb.At("a", bb.I(0)), bb.F(9)),
+		bb.Set(bb.V("q"), bb.FAdd(bb.At("a", bb.I(0)), bb.V("x"))),
+		bb.Ret(bb.FAdd(bb.V("p"), bb.V("q"))),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	eliminateCommonSubexprs(work, prog,
+		cseOpts{global: true, strictAlias: true, loadReuse: true}, newTempNamer(work))
+	if got := countLoads(work.Body, "a"); got != 2 {
+		t.Errorf("%d loads of a, want 2 (same-array store must kill even under strict aliasing)", got)
+	}
+}
+
+func TestCSEScalarReuseWithinSegment(t *testing.T) {
+	prog := ir.NewProgram()
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.F64).ScalarParam("y", ir.F64).
+		Local("p", ir.F64).Local("q", ir.F64)
+	big := func() ir.Expr {
+		return bb.FMul(bb.FAdd(bb.V("x"), bb.V("y")), bb.FSub(bb.V("x"), bb.V("y")))
+	}
+	fn := bb.Body(
+		bb.Set(bb.V("p"), big()),
+		bb.Set(bb.V("q"), bb.FAdd(big(), bb.F(1))),
+		bb.Ret(bb.FAdd(bb.V("p"), bb.V("q"))),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	eliminateCommonSubexprs(work, prog, cseOpts{}, newTempNamer(work))
+	// After CSE the (x+y)*(x-y) tree is computed once: count multiplies.
+	muls := 0
+	rewriteStmtExprs(work.Body, func(e ir.Expr) ir.Expr {
+		if bin, ok := e.(*ir.Binary); ok && bin.Op == ir.OpMul {
+			muls++
+		}
+		return e
+	})
+	if muls != 1 {
+		t.Errorf("multiplies after CSE = %d, want 1", muls)
+	}
+}
+
+func TestCSEAssignmentKillsFacts(t *testing.T) {
+	prog := ir.NewProgram()
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.F64).Local("p", ir.F64).Local("q", ir.F64)
+	big := func() ir.Expr {
+		return bb.FMul(bb.FAdd(bb.V("x"), bb.F(2)), bb.FAdd(bb.V("x"), bb.F(3)))
+	}
+	fn := bb.Body(
+		bb.Set(bb.V("p"), big()),
+		bb.Set(bb.V("x"), bb.FAdd(bb.V("x"), bb.F(1))), // kills facts about x
+		bb.Set(bb.V("q"), big()),
+		bb.Ret(bb.FAdd(bb.V("p"), bb.V("q"))),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	eliminateCommonSubexprs(work, prog, cseOpts{}, newTempNamer(work))
+	muls := 0
+	rewriteStmtExprs(work.Body, func(e ir.Expr) ir.Expr {
+		if bin, ok := e.(*ir.Binary); ok && bin.Op == ir.OpMul {
+			muls++
+		}
+		return e
+	})
+	if muls != 2 {
+		t.Errorf("multiplies = %d, want 2 (reassignment must kill the fact)", muls)
+	}
+}
+
+func TestCPropConstantsAndCopies(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 8)
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.I64).Local("c", ir.I64).Local("d", ir.I64)
+	fn := bb.Body(
+		bb.Set(bb.V("c"), bb.I(3)),
+		bb.Set(bb.V("d"), bb.V("c")),
+		bb.Set(bb.At("a", bb.Add(bb.V("d"), bb.V("c"))), bb.F(1)),
+		bb.Ret(bb.V("d")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	propagateCopies(work)
+	// The index d+c must have folded to 6.
+	idxConst := false
+	rewriteStmtExprs(work.Body, func(e ir.Expr) ir.Expr { return e })
+	for _, s := range work.Body {
+		if a, ok := s.(*ir.Assign); ok {
+			if ar, ok := a.Lhs.(*ir.ArrayRef); ok {
+				if ci, ok := ar.Index.(*ir.ConstInt); ok && ci.V == 6 {
+					idxConst = true
+				}
+			}
+		}
+	}
+	if !idxConst {
+		t.Error("copy/constant propagation did not fold the index to 6")
+	}
+}
+
+func TestCPropStopsAtControlFlow(t *testing.T) {
+	prog := ir.NewProgram()
+	bb := irbuild.NewFunc("f")
+	bb.ScalarParam("x", ir.I64).Local("c", ir.I64)
+	fn := bb.Body(
+		bb.Set(bb.V("c"), bb.I(3)),
+		bb.If(bb.Gt(bb.V("x"), bb.I(0)),
+			bb.Set(bb.V("c"), bb.I(7)),
+		),
+		bb.Ret(bb.V("c")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	propagateCopies(work)
+	// The return must still read the variable, not a constant.
+	ret := work.Body[len(work.Body)-1].(*ir.Return)
+	if _, ok := ret.Value.(*ir.VarRef); !ok {
+		t.Errorf("return value folded to %v despite the conditional kill", ret.Value)
+	}
+}

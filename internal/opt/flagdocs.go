@@ -1,0 +1,48 @@
+package opt
+
+// FlagDoc describes how this compiler implements one tunable flag: which
+// transformation or code-generation policy it controls and why it can hurt.
+func FlagDoc(f Flag) string {
+	return flagDocs[f]
+}
+
+var flagDocs = [NumFlags]string{
+	FDeferPop:                "cheaper call linkage: scales call overhead by 0.9",
+	FThreadJumps:             "CFG simplification: bypass empty forwarding blocks, merge single-predecessor chains (fewer taken-branch redirects)",
+	FBranchProbabilities:     "profile-style static branch hints; presets predictor state and guides block layout",
+	FCSEFollowJumps:          "keep the CSE table alive across two-armed conditionals (kill only invalidated facts)",
+	FCSESkipBlocks:           "keep the CSE table alive across one-armed conditionals",
+	FDeleteNullPointerChecks: "remove compiler-inserted always-true safety guards (If.Guard)",
+	FExpensiveOptimizations:  "gate for second-order passes: store motion, variable-factor strength reduction",
+	FGCSE:                    "global CSE: seed nested regions with the outer table; enables memory-load reuse",
+	FGCSELoadMotion:          "hoist loop-invariant memory loads into a guarded preheader (needs loop-optimize)",
+	FGCSEStoreMotion:         "promote loop-carried array cells to scalars with a post-loop writeback (needs expensive-optimizations)",
+	FStrengthReduce:          "turn induction-variable multiplies into additive recurrences",
+	FRerunCSEAfterLoop:       "second CSE pass after the loop optimizations expose new redundancy",
+	FRerunLoopOpt:            "second LICM pass after strength reduction",
+	FCallerSaves:             "allocate call-crossing values to caller-saved registers (+2 allocatable regs around calls, +10% call cost)",
+	FForceMem:                "force memory operands into registers, enabling load reuse in CSE",
+	FPeephole2:               "local patterns: drop self-moves, fuse not-of-compare into inverted compares, prune dead instructions",
+	FScheduleInsns:           "cycle-aware list scheduling within blocks: hide result latencies, overlap cache misses",
+	FScheduleInsns2:          "post-allocation rescheduling pass weighted by spill costs",
+	FRegmove:                 "coalesce computation-into-temp-then-move chains onto the final register",
+	FStrictAliasing:          "assume distinct arrays never alias: unlocks load CSE/motion across stores, but longer live ranges raise register pressure (the paper's ART story)",
+	FDelayedBranch:           "fill branch delay slots: taken-branch cost x0.7 on the SPARC-like machine only",
+	FReorderBlocks:           "greedy fallthrough chain layout so the hot path runs straight",
+	FAlignFunctions:          "function entry alignment: +8 instruction footprint",
+	FAlignJumps:              "jump target alignment: taken-branch cost x0.93, +size/24 footprint",
+	FAlignLoops:              "loop header alignment: taken-branch cost x0.88, +size/16 footprint",
+	FAlignLabels:             "label alignment: taken-branch cost x0.95, +size/32 footprint",
+	FCrossjumping:            "merge identical block tails (instruction-cache footprint reduction)",
+	FIfConversion:            "convert scalar-assignment conditionals to branch-free selects (fault-free right-hand sides only)",
+	FIfConversion2:           "additionally speculate loads whose expression the condition already evaluates (max-reduction pattern)",
+	FInlineFunctions:         "inline small straight-line callees at statement positions",
+	FRenameRegisters:         "local register renaming: removes anti/output dependences for the scheduler at the cost of more live ranges",
+	FOptimizeSiblingCalls:    "tail-call linkage: scales call overhead by 0.95 when calls are present",
+	FOmitFramePointer:        "one extra allocatable integer register",
+	FGuessBranchProbability:  "static prediction heuristics (loop branches taken); predictor starts warm",
+	FCPropRegisters:          "copy and constant propagation within straight-line segments",
+	FLoopOptimize:            "loop-invariant code motion into guarded preheaders",
+	FUnrollLoops:             "4x unrolling of innermost counted loops with a remainder loop",
+	FSchedInterblock:         "let the scheduler migrate loads into a unique jump-predecessor",
+}

@@ -1,0 +1,210 @@
+// Package opt implements the optimizing compiler whose option space PEAK
+// tunes: 38 named flags modeled after the GCC 3.3 "-O3" option set the paper
+// explores (§5.2), each either a genuine HIR/LIR transformation or a
+// code-generation policy with a principled cost-model effect.
+//
+// Compile applies the enabled flags to a function and produces a runnable
+// sim.Version for a specific machine. Baseline cleanups that GCC does not
+// expose as -O3 toggles (constant folding, dead-code elimination) always
+// run, mirroring "-O" base behaviour.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Flag identifies one optimization option.
+type Flag int
+
+// The 38 tunable optimization flags (names follow GCC 3.3).
+const (
+	FDeferPop Flag = iota
+	FThreadJumps
+	FBranchProbabilities
+	FCSEFollowJumps
+	FCSESkipBlocks
+	FDeleteNullPointerChecks
+	FExpensiveOptimizations
+	FGCSE
+	FGCSELoadMotion
+	FGCSEStoreMotion
+	FStrengthReduce
+	FRerunCSEAfterLoop
+	FRerunLoopOpt
+	FCallerSaves
+	FForceMem
+	FPeephole2
+	FScheduleInsns
+	FScheduleInsns2
+	FRegmove
+	FStrictAliasing
+	FDelayedBranch
+	FReorderBlocks
+	FAlignFunctions
+	FAlignJumps
+	FAlignLoops
+	FAlignLabels
+	FCrossjumping
+	FIfConversion
+	FIfConversion2
+	FInlineFunctions
+	FRenameRegisters
+	FOptimizeSiblingCalls
+	FOmitFramePointer
+	FGuessBranchProbability
+	FCPropRegisters
+	FLoopOptimize
+	FUnrollLoops
+	FSchedInterblock
+
+	// NumFlags is the size of the option space (n = 38, paper §5.2).
+	NumFlags int = iota
+)
+
+var flagNames = [NumFlags]string{
+	FDeferPop:                "defer-pop",
+	FThreadJumps:             "thread-jumps",
+	FBranchProbabilities:     "branch-probabilities",
+	FCSEFollowJumps:          "cse-follow-jumps",
+	FCSESkipBlocks:           "cse-skip-blocks",
+	FDeleteNullPointerChecks: "delete-null-pointer-checks",
+	FExpensiveOptimizations:  "expensive-optimizations",
+	FGCSE:                    "gcse",
+	FGCSELoadMotion:          "gcse-lm",
+	FGCSEStoreMotion:         "gcse-sm",
+	FStrengthReduce:          "strength-reduce",
+	FRerunCSEAfterLoop:       "rerun-cse-after-loop",
+	FRerunLoopOpt:            "rerun-loop-opt",
+	FCallerSaves:             "caller-saves",
+	FForceMem:                "force-mem",
+	FPeephole2:               "peephole2",
+	FScheduleInsns:           "schedule-insns",
+	FScheduleInsns2:          "schedule-insns2",
+	FRegmove:                 "regmove",
+	FStrictAliasing:          "strict-aliasing",
+	FDelayedBranch:           "delayed-branch",
+	FReorderBlocks:           "reorder-blocks",
+	FAlignFunctions:          "align-functions",
+	FAlignJumps:              "align-jumps",
+	FAlignLoops:              "align-loops",
+	FAlignLabels:             "align-labels",
+	FCrossjumping:            "crossjumping",
+	FIfConversion:            "if-conversion",
+	FIfConversion2:           "if-conversion2",
+	FInlineFunctions:         "inline-functions",
+	FRenameRegisters:         "rename-registers",
+	FOptimizeSiblingCalls:    "optimize-sibling-calls",
+	FOmitFramePointer:        "omit-frame-pointer",
+	FGuessBranchProbability:  "guess-branch-probability",
+	FCPropRegisters:          "cprop-registers",
+	FLoopOptimize:            "loop-optimize",
+	FUnrollLoops:             "unroll-loops",
+	FSchedInterblock:         "sched-interblock",
+}
+
+func (f Flag) String() string {
+	if f >= 0 && int(f) < NumFlags {
+		return flagNames[f]
+	}
+	return fmt.Sprintf("flag(%d)", int(f))
+}
+
+// FlagByName returns the flag with the given GCC-style name.
+func FlagByName(name string) (Flag, bool) {
+	name = strings.TrimPrefix(name, "-f")
+	for i, n := range flagNames {
+		if n == name {
+			return Flag(i), true
+		}
+	}
+	return 0, false
+}
+
+// AllFlags returns all flags in declaration order.
+func AllFlags() []Flag {
+	out := make([]Flag, NumFlags)
+	for i := range out {
+		out[i] = Flag(i)
+	}
+	return out
+}
+
+// FlagSet is a set of enabled optimization flags.
+type FlagSet uint64
+
+// O3 returns the full option set ("-O3" enables all 38 options).
+func O3() FlagSet {
+	return FlagSet(1<<uint(NumFlags)) - 1
+}
+
+// O0 returns the empty option set.
+func O0() FlagSet { return 0 }
+
+// Has reports whether f is enabled.
+func (s FlagSet) Has(f Flag) bool { return s&(1<<uint(f)) != 0 }
+
+// With returns s with f enabled.
+func (s FlagSet) With(f Flag) FlagSet { return s | (1 << uint(f)) }
+
+// Without returns s with f disabled.
+func (s FlagSet) Without(f Flag) FlagSet { return s &^ (1 << uint(f)) }
+
+// Count returns the number of enabled flags.
+func (s FlagSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Enabled returns the enabled flags in declaration order.
+func (s FlagSet) Enabled() []Flag {
+	var out []Flag
+	for i := 0; i < NumFlags; i++ {
+		if s.Has(Flag(i)) {
+			out = append(out, Flag(i))
+		}
+	}
+	return out
+}
+
+// String renders the set as "-fa -fb ..." in sorted-name order, or "-O0".
+func (s FlagSet) String() string {
+	if s == 0 {
+		return "-O0"
+	}
+	if s == O3() {
+		return "-O3"
+	}
+	names := make([]string, 0, s.Count())
+	for _, f := range s.Enabled() {
+		names = append(names, "-f"+f.String())
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// ParseFlagSet parses "-O3", "-O0", or a space-separated list of
+// "-f<name>" / "<name>" tokens.
+func ParseFlagSet(s string) (FlagSet, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "-O3", "O3":
+		return O3(), nil
+	case "-O0", "O0", "":
+		return O0(), nil
+	}
+	var set FlagSet
+	for _, tok := range strings.Fields(s) {
+		f, ok := FlagByName(tok)
+		if !ok {
+			return 0, fmt.Errorf("opt: unknown flag %q", tok)
+		}
+		set = set.With(f)
+	}
+	return set, nil
+}

@@ -1,0 +1,37 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestFoldExhaustiveSeeds sweeps a fixed seed range of random expressions,
+// checking that folding preserves both values and faultability against the
+// reference evaluator (this search found the mixed-literal truncation and
+// the bitwise-identity-coercion bugs).
+func TestFoldExhaustiveSeeds(t *testing.T) {
+	for seed := int64(0); seed < 30000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		env := map[string]float64{
+			"a": float64(rng.Intn(40) - 20),
+			"b": float64(rng.Intn(40) - 20),
+			"c": float64(rng.Intn(7)) / 2,
+		}
+		e := randExpr(rng, 4)
+		before, okB := evalRef(e, env)
+		folded := rewriteExpr(e.Clone(), foldExpr)
+		after, okA := evalRef(folded, env)
+		bad := false
+		if okB != okA {
+			bad = true
+		} else if okB && before != after && !(before != before && after != after) {
+			bad = true
+		}
+		if bad {
+			fmt.Printf("seed=%d env=%v\n  orig=%s (%v,%v)\n  fold=%s (%v,%v)\n",
+				seed, env, e, before, okB, folded, after, okA)
+			t.Fatal("counterexample")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+	"peak/internal/sim"
+)
+
+func TestInlineRejectsComplexCallees(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("ia", ir.F64, 8)
+
+	// Callee with a loop: not inlinable.
+	loopy := irbuild.NewFunc("loopy")
+	loopy.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	prog.AddFunc(loopy.Body(
+		loopy.For("i", loopy.I(0), loopy.V("n"), 1,
+			loopy.Set(loopy.V("s"), loopy.FAdd(loopy.V("s"), loopy.F(1)))),
+		loopy.Ret(loopy.V("s")),
+	))
+	// Callee with a store: not inlinable (alias bookkeeping).
+	storer := irbuild.NewFunc("storer")
+	storer.ScalarParam("x", ir.F64)
+	prog.AddFunc(storer.Body(
+		storer.Set(storer.At("ia", storer.I(0)), storer.V("x")),
+		storer.Ret(storer.V("x")),
+	))
+
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("r", ir.F64)
+	fn := b.Body(
+		b.Set(b.V("r"), b.Call("loopy", b.V("n"))),
+		b.Set(b.V("r"), b.FAdd(b.V("r"), b.Call("storer", b.V("r")))),
+		b.Ret(b.V("r")),
+	)
+	prog.AddFunc(fn)
+
+	work := fn.Clone()
+	inlineCalls(work, prog, newTempNamer(work))
+	calls := 0
+	rewriteStmtExprs(work.Body, func(e ir.Expr) ir.Expr {
+		if c, ok := e.(*ir.CallExpr); ok {
+			if _, intrinsic := ir.IsIntrinsic(c.Fn); !intrinsic {
+				calls++
+			}
+		}
+		return e
+	})
+	if calls != 2 {
+		t.Errorf("calls after inlining = %d, want 2 (neither callee is inlinable)", calls)
+	}
+}
+
+func TestInlineLocalsStartAtZeroPerCall(t *testing.T) {
+	// An inlined callee's locals must be re-zeroed at every call site —
+	// the inlined assignments run inside the caller's loop.
+	prog := ir.NewProgram()
+	acc := irbuild.NewFunc("acc")
+	acc.ScalarParam("x", ir.F64).Local("t", ir.F64)
+	prog.AddFunc(acc.Body(
+		acc.Set(acc.V("t"), acc.FAdd(acc.V("t"), acc.V("x"))), // t starts 0
+		acc.Ret(acc.V("t")),
+	))
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.Call("acc", b.F(2)))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+
+	// Differential check: inlined vs not, executed.
+	checkSemanticsEquiv(t, prog, fn, []float64{5})
+}
+
+// checkSemanticsEquiv compiles fn at O0 and with inlining only, runs both,
+// and compares results.
+func checkSemanticsEquiv(t *testing.T, prog *ir.Program, fn *ir.Func, args []float64) {
+	t.Helper()
+	runWith := func(fs FlagSet) float64 {
+		m := testMachine()
+		v, err := Compile(prog, fn, fs, m)
+		if err != nil {
+			t.Fatalf("compile %s: %v", fs, err)
+		}
+		mem := newTestMemory(prog)
+		r := newTestRunner(m, mem)
+		got, _, err := r.Run(v, args)
+		if err != nil {
+			t.Fatalf("run %s: %v", fs, err)
+		}
+		return got
+	}
+	plain := runWith(O0())
+	inlined := runWith(O0().With(FInlineFunctions))
+	if plain != inlined {
+		t.Errorf("inlining changed the result: %v vs %v", inlined, plain)
+	}
+}
+
+// Small helpers bridging to machine/sim without repeating imports at every
+// call site.
+func testMachine() *machine.Machine { return machine.SPARCII() }
+
+func newTestMemory(prog *ir.Program) *sim.Memory { return sim.NewMemory(prog) }
+
+func newTestRunner(m *machine.Machine, mem *sim.Memory) *sim.Runner {
+	return sim.NewRunner(m, mem, 1)
+}

@@ -1,0 +1,399 @@
+package opt
+
+import "peak/internal/ir"
+
+// threadJumps simplifies the CFG (thread-jumps): empty forwarding blocks are
+// bypassed, and single-predecessor blocks are merged into that predecessor.
+// Fewer control transfers means fewer taken-branch redirects at run time.
+func threadJumps(f *ir.LFunc) {
+	bypassEmptyBlocks(f)
+	mergeLinearChains(f)
+}
+
+func bypassEmptyBlocks(f *ir.LFunc) {
+	// target(b) follows chains of empty jump-only blocks.
+	resolve := func(id int) int {
+		seen := map[int]bool{}
+		for {
+			b := f.BlockByID(id)
+			if b == nil || len(b.Instrs) > 0 || b.Term.Kind != ir.TermJump || seen[id] {
+				return id
+			}
+			seen[id] = true
+			id = b.Term.Then
+		}
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			b.Term.Then = resolve(b.Term.Then)
+		case ir.TermBranch:
+			b.Term.Then = resolve(b.Term.Then)
+			b.Term.Else = resolve(b.Term.Else)
+		}
+	}
+	removeUnreachable(f)
+}
+
+func mergeLinearChains(f *ir.LFunc) {
+	for {
+		preds := map[int]int{}
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs() {
+				preds[s]++
+			}
+		}
+		merged := false
+		for _, b := range f.Blocks {
+			if b.Term.Kind != ir.TermJump {
+				continue
+			}
+			c := f.BlockByID(b.Term.Then)
+			if c == nil || c == b || preds[c.ID] != 1 || c.ID == f.Blocks[0].ID {
+				continue
+			}
+			b.Instrs = append(b.Instrs, c.Instrs...)
+			b.Term = c.Term
+			c.Instrs = nil
+			c.Term = ir.Terminator{Kind: ir.TermJump, Then: b.ID} // orphan
+			removeBlock(f, c.ID)
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+func removeBlock(f *ir.LFunc, id int) {
+	out := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if b.ID != id {
+			out = append(out, b)
+		}
+	}
+	f.Blocks = out
+}
+
+func removeUnreachable(f *ir.LFunc) {
+	reach := map[int]bool{}
+	var visit func(id int)
+	visit = func(id int) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		if b := f.BlockByID(id); b != nil {
+			for _, s := range b.Succs() {
+				visit(s)
+			}
+		}
+	}
+	visit(f.Blocks[0].ID)
+	out := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			out = append(out, b)
+		}
+	}
+	f.Blocks = out
+}
+
+// useCounts returns, per register, the number of reading references
+// (including terminators).
+func useCounts(f *ir.LFunc) []int {
+	counts := make([]int, f.NumRegs)
+	var uses []ir.Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			uses = b.Instrs[i].Uses(uses[:0])
+			for _, u := range uses {
+				counts[u]++
+			}
+		}
+		if b.Term.Kind == ir.TermBranch && b.Term.Cond != ir.NoReg {
+			counts[b.Term.Cond]++
+		}
+		if b.Term.Kind == ir.TermReturn && b.Term.Val != ir.NoReg {
+			counts[b.Term.Val]++
+		}
+	}
+	return counts
+}
+
+// pureOp reports whether an opcode has no side effect besides its result.
+func pureOp(op ir.Opcode) bool {
+	switch op {
+	case ir.LStore, ir.LCall, ir.LCount, ir.LNop:
+		return false
+	case ir.LLoad:
+		// Loads can fault on a bad index; they are removed only when dead
+		// code elimination proves the index register is itself unused...
+		// keep them to stay conservative.
+		return false
+	}
+	return true
+}
+
+// deadInstrElim removes pure instructions whose destinations are never
+// read. Runs to a fixpoint; part of the peephole2 cleanup.
+func deadInstrElim(f *ir.LFunc) {
+	for {
+		counts := useCounts(f)
+		removed := false
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				d := in.Def()
+				if d != ir.NoReg && counts[d] == 0 && pureOp(in.Op) && !paramReg(f, d) {
+					removed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func paramReg(f *ir.LFunc, r ir.Reg) bool {
+	for _, p := range f.ParamRegs {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+// peephole runs local pattern simplifications (peephole2):
+//   - mov r, r is dropped;
+//   - not t applied to a comparison defined immediately before (with t
+//     otherwise unused) becomes the inverted comparison;
+//   - dead pure instructions are pruned.
+func peephole(f *ir.LFunc) {
+	counts := useCounts(f)
+	invert := map[ir.Opcode]ir.Opcode{
+		ir.LCmpEq: ir.LCmpNe, ir.LCmpNe: ir.LCmpEq,
+		ir.LCmpLt: ir.LCmpGe, ir.LCmpGe: ir.LCmpLt,
+		ir.LCmpLe: ir.LCmpGt, ir.LCmpGt: ir.LCmpLe,
+		ir.LFCmpEq: ir.LFCmpNe, ir.LFCmpNe: ir.LFCmpEq,
+		ir.LFCmpLt: ir.LFCmpGe, ir.LFCmpGe: ir.LFCmpLt,
+		ir.LFCmpLe: ir.LFCmpGt, ir.LFCmpGt: ir.LFCmpLe,
+	}
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if in.Op == ir.LMov && in.Dst == in.A {
+				continue
+			}
+			if in.Op == ir.LNot && len(out) > 0 {
+				prev := &out[len(out)-1]
+				if inv, ok := invert[prev.Op]; ok && prev.Dst == in.A && counts[in.A] == 1 {
+					// Rewrite `t = cmp; d = not t` as `d = inverted-cmp`.
+					*prev = ir.Instr{Op: inv, Dst: in.Dst, A: prev.A, B: prev.B, Src: ir.NoReg}
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	deadInstrElim(f)
+}
+
+// coalesceMoves (regmove) eliminates `mov home, tmp` where tmp was computed
+// in the same block solely for this move, by retargeting the computation at
+// home directly. Legal when home is neither read nor written between the
+// computation and the move.
+func coalesceMoves(f *ir.LFunc) {
+	counts := useCounts(f)
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if in.Op != ir.LMov || in.A == ir.NoReg || counts[in.A] != 1 {
+				continue
+			}
+			tmp, home := in.A, in.Dst
+			if tmp == home {
+				continue
+			}
+			// Find tmp's definition earlier in this block.
+			defIdx := -1
+			for j := i - 1; j >= 0; j-- {
+				if b.Instrs[j].Def() == tmp {
+					defIdx = j
+					break
+				}
+				if b.Instrs[j].Def() == home {
+					defIdx = -1
+					break
+				}
+				used := false
+				for _, u := range b.Instrs[j].Uses(nil) {
+					if u == home {
+						used = true
+					}
+				}
+				if used {
+					defIdx = -1
+					break
+				}
+			}
+			if defIdx < 0 {
+				continue
+			}
+			// Defs of tmp must be unique (safe for expression temps, which
+			// are single-def by construction): verify globally.
+			if defCount(f, tmp) != 1 {
+				continue
+			}
+			b.Instrs[defIdx].Dst = home
+			// Turn the mov into a self-move; peephole/dead-code drops it.
+			in.Op = ir.LMov
+			in.A = home
+			in.Dst = home
+		}
+	}
+	// Clean up the self-moves.
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.LMov && in.Dst == in.A {
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+func defCount(f *ir.LFunc, r ir.Reg) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Def() == r {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// applyBranchHints sets static Likely hints (guess-branch-probability):
+// a branch whose taken side stays at deeper loop nesting than the other is
+// predicted taken, and vice versa.
+func applyBranchHints(f *ir.LFunc) {
+	depth := map[int]int{}
+	for _, b := range f.Blocks {
+		depth[b.ID] = b.LoopDepth
+	}
+	for _, b := range f.Blocks {
+		if b.Term.Kind != ir.TermBranch {
+			continue
+		}
+		dt, de := depth[b.Term.Then], depth[b.Term.Else]
+		switch {
+		case dt > de:
+			b.Term.Likely = 1
+		case dt < de:
+			b.Term.Likely = -1
+		default:
+			b.Term.Likely = 0
+		}
+	}
+}
+
+// reorderBlockLayout lays blocks out in greedy fallthrough chains
+// (reorder-blocks): after a block, place its most likely unplaced successor
+// next, so the hot path runs straight and taken-branch redirects hit cold
+// paths only.
+func reorderBlockLayout(f *ir.LFunc, useHints bool) {
+	placed := map[int]bool{}
+	var order []*ir.Block
+	place := func(b *ir.Block) {
+		placed[b.ID] = true
+		order = append(order, b)
+	}
+	next := func(b *ir.Block) *ir.Block {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			return f.BlockByID(b.Term.Then)
+		case ir.TermBranch:
+			thenB, elseB := f.BlockByID(b.Term.Then), f.BlockByID(b.Term.Else)
+			unplaced := func(x *ir.Block) bool { return x != nil && !placed[x.ID] }
+			// Place the likelier successor next: it becomes the
+			// fallthrough and avoids the taken-branch redirect.
+			if useHints && b.Term.Likely > 0 && unplaced(thenB) {
+				return thenB
+			}
+			if useHints && b.Term.Likely < 0 && unplaced(elseB) {
+				return elseB
+			}
+			// Without a hint, preserve the lowering's locality: prefer the
+			// successor that immediately followed this block originally.
+			if unplaced(thenB) && thenB.ID == b.ID+1 {
+				return thenB
+			}
+			if unplaced(elseB) && elseB.ID == b.ID+1 {
+				return elseB
+			}
+			if unplaced(thenB) {
+				return thenB
+			}
+			if unplaced(elseB) {
+				return elseB
+			}
+		}
+		return nil
+	}
+	for _, start := range f.Blocks {
+		if placed[start.ID] {
+			continue
+		}
+		for b := start; b != nil && !placed[b.ID]; b = next(b) {
+			place(b)
+		}
+	}
+	f.Blocks = order
+}
+
+// crossjumpSavings estimates the instruction-count savings available from
+// merging identical block tails (crossjumping). The blocks are not rewritten
+// (block identity feeds profiling); the savings reduce the version's
+// instruction-cache footprint.
+func crossjumpSavings(f *ir.LFunc) int {
+	byTerm := map[string][]*ir.Block{}
+	for _, b := range f.Blocks {
+		k := b.Term.String()
+		byTerm[k] = append(byTerm[k], b)
+	}
+	saved := 0
+	for _, group := range byTerm {
+		if len(group) < 2 {
+			continue
+		}
+		base := group[0]
+		for _, other := range group[1:] {
+			n := commonSuffix(base.Instrs, other.Instrs)
+			saved += n
+		}
+	}
+	return saved
+}
+
+func commonSuffix(a, b []ir.Instr) int {
+	n := 0
+	for n < len(a) && n < len(b) {
+		x, y := a[len(a)-1-n], b[len(b)-1-n]
+		if x.String() != y.String() {
+			break
+		}
+		n++
+	}
+	return n
+}

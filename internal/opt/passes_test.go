@@ -1,0 +1,525 @@
+package opt
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/lower"
+)
+
+func countHIR[T ir.Stmt](list []ir.Stmt) int {
+	n := 0
+	var walk func([]ir.Stmt)
+	walk = func(list []ir.Stmt) {
+		for _, s := range list {
+			if _, ok := s.(T); ok {
+				n++
+			}
+			switch st := s.(type) {
+			case *ir.If:
+				walk(st.Then)
+				walk(st.Else)
+			case *ir.For:
+				walk(st.Body)
+			case *ir.While:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(list)
+	return n
+}
+
+func countExprNodes(list []ir.Stmt, pred func(ir.Expr) bool) int {
+	n := 0
+	rewriteStmtExprs(list, func(e ir.Expr) ir.Expr {
+		if pred(e) {
+			n++
+		}
+		return e
+	})
+	return n
+}
+
+func TestUnrollStructure(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("u", ir.F64, 64)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.At("u", b.V("i")), b.F(1)),
+		),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	unrollLoops(work, prog, newTempNamer(work))
+	if countHIR[*ir.For](work.Body) != 0 {
+		t.Error("For loop not unrolled")
+	}
+	if got := countHIR[*ir.While](work.Body); got != 2 {
+		t.Errorf("unrolled shape has %d While loops, want 2 (main + remainder)", got)
+	}
+	// Four body copies in the main loop + one in the remainder.
+	stores := 0
+	var walk func([]ir.Stmt)
+	walk = func(list []ir.Stmt) {
+		for _, s := range list {
+			switch st := s.(type) {
+			case *ir.Assign:
+				if ar, ok := st.Lhs.(*ir.ArrayRef); ok && ar.Name == "u" {
+					stores++
+				}
+			case *ir.If:
+				walk(st.Then)
+				walk(st.Else)
+			case *ir.While:
+				walk(st.Body)
+			case *ir.For:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(work.Body)
+	if stores != unrollFactor+1 {
+		t.Errorf("store copies = %d, want %d", stores, unrollFactor+1)
+	}
+}
+
+func TestUnrollSkipsIllegalLoops(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.If(b.Gt(b.V("s"), b.I(10)), b.Break()),
+			b.Set(b.V("s"), b.Add(b.V("s"), b.V("i"))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	unrollLoops(work, prog, newTempNamer(work))
+	if countHIR[*ir.For](work.Body) != 1 {
+		t.Error("loop with Break must not be unrolled")
+	}
+}
+
+func TestIfConversionProducesSelect(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.F64).Local("m", ir.F64)
+	fn := b.Body(
+		b.If(b.FGt(b.V("x"), b.V("m")),
+			b.Set(b.V("m"), b.V("x")),
+		),
+		b.Ret(b.V("m")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	convertIfs(work, prog, ifConvOpts{basic: true}, newTempNamer(work))
+	if countHIR[*ir.If](work.Body) != 0 {
+		t.Error("max pattern not converted")
+	}
+	selects := 0
+	rewriteStmtExprs(work.Body, func(e ir.Expr) ir.Expr {
+		if _, ok := e.(*ir.Select); ok {
+			selects++
+		}
+		return e
+	})
+	if selects != 1 {
+		t.Errorf("selects = %d, want 1", selects)
+	}
+}
+
+func TestIfConversionRefusesFaultingSpeculation(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 8)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("i", ir.I64).Local("m", ir.F64)
+	fn := b.Body(
+		// The load a[i] is only reachable when i < 8; converting would
+		// speculate a possibly out-of-bounds load.
+		b.If(b.Lt(b.V("i"), b.I(8)),
+			b.Set(b.V("m"), b.At("a", b.V("i"))),
+		),
+		b.Ret(b.V("m")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	convertIfs(work, prog, ifConvOpts{basic: true, aggressive: true}, newTempNamer(work))
+	if countHIR[*ir.If](work.Body) != 1 {
+		t.Error("unsafe load speculation was allowed")
+	}
+}
+
+func TestIfConversion2DominatingLoad(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 8)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("i", ir.I64).Local("m", ir.F64)
+	fn := b.Body(
+		// a[i] appears in the condition, so speculating the identical
+		// load in the arm is safe (the classic max-reduction pattern).
+		b.If(b.FGt(b.At("a", b.V("i")), b.V("m")),
+			b.Set(b.V("m"), b.At("a", b.V("i"))),
+		),
+		b.Ret(b.V("m")),
+	)
+	prog.AddFunc(fn)
+
+	basic := fn.Clone()
+	convertIfs(basic, prog, ifConvOpts{basic: true}, newTempNamer(basic))
+	if countHIR[*ir.If](basic.Body) != 1 {
+		t.Error("plain if-conversion must not speculate loads")
+	}
+
+	aggr := fn.Clone()
+	convertIfs(aggr, prog, ifConvOpts{basic: true, aggressive: true}, newTempNamer(aggr))
+	if countHIR[*ir.If](aggr.Body) != 0 {
+		t.Error("if-conversion2 should convert the dominated-load pattern")
+	}
+}
+
+func TestLICMHoistsWithGuard(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("c", ir.F64, 8)
+	prog.AddArray("o", ir.F64, 64)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).ScalarParam("k", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.At("o", b.V("i")),
+				b.FMul(b.At("c", b.I(3)), b.FMul(b.V("k"), b.V("k")))),
+		),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	hoistInvariants(work, prog, licmOpts{loads: true, strictAlias: true}, newTempNamer(work))
+	// The loop must now sit inside a zero-trip guard with preheader
+	// assignments in front.
+	guard, ok := work.Body[0].(*ir.If)
+	if !ok {
+		t.Fatalf("no guard; body[0] = %T", work.Body[0])
+	}
+	if countHIR[*ir.For](guard.Then) != 1 {
+		t.Error("loop not inside the guard")
+	}
+	if len(guard.Then) < 2 {
+		t.Error("no hoisted preheader assignments")
+	}
+}
+
+func TestLICMRespectsStores(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("c", ir.F64, 8)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("c", b.I(0)))),
+			b.Set(b.At("c", b.I(0)), b.V("s")),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	// Without store motion, the load of the stored array must not move.
+	hoistInvariants(work, prog, licmOpts{loads: true, strictAlias: true}, newTempNamer(work))
+	if _, isIf := work.Body[0].(*ir.If); isIf {
+		guard := work.Body[0].(*ir.If)
+		for _, s := range guard.Then {
+			if a, ok := s.(*ir.Assign); ok {
+				if p := analyzeExpr(a.Rhs); p.loads["c"] {
+					t.Error("load of a stored array was hoisted")
+				}
+			}
+		}
+	}
+}
+
+func TestStoreMotionPromotesAccumulator(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("acc", ir.F64, 4)
+	prog.AddArray("x", ir.F64, 64)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.At("acc", b.I(0)),
+				b.FAdd(b.At("acc", b.I(0)), b.At("x", b.V("i")))),
+		),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	hoistInvariants(work, prog, licmOpts{loads: true, stores: true, strictAlias: true}, newTempNamer(work))
+	guard, ok := work.Body[0].(*ir.If)
+	if !ok {
+		t.Fatal("no guard produced")
+	}
+	// Inside the guarded region the loop body must no longer store acc;
+	// a post-loop store writes the promoted scalar back.
+	loop := guard.Then[1].(*ir.For)
+	stored := map[string]bool{}
+	storedArrays(loop.Body, prog, stored)
+	if stored["acc"] {
+		t.Error("accumulator store not promoted out of the loop")
+	}
+	last, ok := guard.Then[len(guard.Then)-1].(*ir.Assign)
+	if !ok {
+		t.Fatal("no post-loop store")
+	}
+	if ar, ok := last.Lhs.(*ir.ArrayRef); !ok || ar.Name != "acc" {
+		t.Error("post-loop store does not target acc")
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 256)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("a", b.Mul(b.V("i"), b.I(4))))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	reduceStrength(work, prog, false, newTempNamer(work))
+	intMuls := func(list []ir.Stmt) int {
+		return countExprNodes(list, func(e ir.Expr) bool {
+			bin, ok := e.(*ir.Binary)
+			return ok && bin.Op == ir.OpMul && bin.Typ == ir.I64
+		})
+	}
+	// The body multiply became an additive recurrence; the preheader
+	// product 0*4 folds away entirely.
+	if got := intMuls(work.Body); got != 0 {
+		t.Errorf("integer multiplies after strength reduction = %d, want 0", got)
+	}
+	loop := findFor(work.Body)
+	if loop == nil {
+		t.Fatal("loop vanished")
+	}
+	if len(loop.Body) != 2 {
+		t.Errorf("loop body has %d statements, want 2 (use + recurrence update)", len(loop.Body))
+	}
+}
+
+func findFor(list []ir.Stmt) *ir.For {
+	for _, s := range list {
+		switch st := s.(type) {
+		case *ir.For:
+			return st
+		case *ir.If:
+			if f := findFor(st.Then); f != nil {
+				return f
+			}
+			if f := findFor(st.Else); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func TestDCERemovesDeadChains(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.I64).Local("dead1", ir.I64).Local("dead2", ir.I64).Local("live", ir.I64)
+	fn := b.Body(
+		b.Set(b.V("dead1"), b.Add(b.V("x"), b.I(1))),
+		b.Set(b.V("dead2"), b.Add(b.V("dead1"), b.I(2))), // only feeds dead1 chain
+		b.Set(b.V("live"), b.Mul(b.V("x"), b.I(3))),
+		b.Ret(b.V("live")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	eliminateDeadCode(work, prog)
+	if got := countHIR[*ir.Assign](work.Body); got != 1 {
+		t.Errorf("assignments after DCE = %d, want 1", got)
+	}
+}
+
+func TestGuardRemoval(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.I64).Local("y", ir.I64)
+	fn := b.Body(
+		b.Guard(b.Ge(b.V("x"), b.I(0)),
+			b.Set(b.V("y"), b.V("x")),
+		),
+		b.Ret(b.V("y")),
+	)
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	removeGuards(work)
+	if countHIR[*ir.If](work.Body) != 0 {
+		t.Error("guard not removed")
+	}
+	if countHIR[*ir.Assign](work.Body) != 1 {
+		t.Error("guarded body lost")
+	}
+}
+
+func TestInlineSmallCallee(t *testing.T) {
+	prog := ir.NewProgram()
+	cb := irbuild.NewFunc("sq")
+	cb.ScalarParam("v", ir.F64)
+	prog.AddFunc(cb.Body(cb.Ret(cb.FMul(cb.V("v"), cb.V("v")))))
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.F64)
+	fn := b.Body(b.Ret(b.Call("sq", b.FAdd(b.V("x"), b.F(1)))))
+	prog.AddFunc(fn)
+	work := fn.Clone()
+	inlineCalls(work, prog, newTempNamer(work))
+	calls := countExprNodes(work.Body, func(e ir.Expr) bool {
+		c, ok := e.(*ir.CallExpr)
+		return ok && c.Fn == "sq"
+	})
+	if calls != 0 {
+		t.Error("small callee not inlined")
+	}
+}
+
+func TestThreadJumpsMergesChains(t *testing.T) {
+	// Nested conditionals create empty forwarding joins that thread-jumps
+	// bypasses, plus single-predecessor chains it merges.
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.I64).Local("y", ir.I64)
+	fn := b.Body(
+		b.If(b.Gt(b.V("x"), b.I(0)),
+			b.If(b.Gt(b.V("x"), b.I(10)),
+				b.Set(b.V("y"), b.I(1)),
+			),
+		),
+		b.Set(b.V("y"), b.Add(b.V("y"), b.I(1))),
+		b.Ret(b.V("y")),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(lf.Blocks)
+	threadJumps(lf)
+	if len(lf.Blocks) >= before {
+		t.Errorf("blocks %d -> %d, expected a reduction", before, len(lf.Blocks))
+	}
+	if lf.Blocks[0] != f0(lf) {
+		t.Error("entry block must stay first")
+	}
+}
+
+func f0(lf *ir.LFunc) *ir.Block { return lf.Blocks[0] }
+
+func TestPeepholeInvertsNotOfCompare(t *testing.T) {
+	f := &ir.LFunc{
+		Name:     "f",
+		NumRegs:  4,
+		FloatReg: make([]bool, 4),
+		Blocks: []*ir.Block{{
+			ID: 0,
+			Instrs: []ir.Instr{
+				{Op: ir.LCmpLt, Dst: 2, A: 0, B: 1},
+				{Op: ir.LNot, Dst: 3, A: 2, B: ir.NoReg},
+			},
+			Term: ir.Terminator{Kind: ir.TermReturn, Val: 3},
+		}},
+	}
+	peephole(f)
+	if len(f.Blocks[0].Instrs) != 1 {
+		t.Fatalf("instrs = %d, want 1", len(f.Blocks[0].Instrs))
+	}
+	in := f.Blocks[0].Instrs[0]
+	if in.Op != ir.LCmpGe || in.Dst != 3 {
+		t.Errorf("fused instr = %v, want cmpge -> r3", in.String())
+	}
+}
+
+func TestRenameRegistersRemovesReuse(t *testing.T) {
+	// r1 is defined twice in one block; renaming must split the first
+	// def (and its use) onto a fresh register.
+	f := &ir.LFunc{
+		Name:     "f",
+		NumRegs:  3,
+		FloatReg: make([]bool, 3),
+		Blocks: []*ir.Block{{
+			ID: 0,
+			Instrs: []ir.Instr{
+				{Op: ir.LMovI, Dst: 1, A: ir.NoReg, B: ir.NoReg, Imm: 5},
+				{Op: ir.LAdd, Dst: 2, A: 1, B: 1},
+				{Op: ir.LMovI, Dst: 1, A: ir.NoReg, B: ir.NoReg, Imm: 9},
+			},
+			Term: ir.Terminator{Kind: ir.TermReturn, Val: 1},
+		}},
+	}
+	renameRegisters(f)
+	if f.NumRegs != 4 {
+		t.Fatalf("NumRegs = %d, want 4", f.NumRegs)
+	}
+	ins := f.Blocks[0].Instrs
+	if ins[0].Dst == 1 {
+		t.Error("first def not renamed")
+	}
+	if ins[1].A != ins[0].Dst || ins[1].B != ins[0].Dst {
+		t.Error("uses not repointed to the renamed register")
+	}
+	if ins[2].Dst != 1 {
+		t.Error("final def must keep the original register (live-out)")
+	}
+}
+
+func TestCrossjumpSavings(t *testing.T) {
+	mk := func() []ir.Instr {
+		return []ir.Instr{
+			{Op: ir.LMovI, Dst: 1, A: ir.NoReg, B: ir.NoReg, Imm: 1},
+			{Op: ir.LAdd, Dst: 2, A: 0, B: 1},
+		}
+	}
+	f := &ir.LFunc{
+		Name: "f", NumRegs: 3, FloatReg: make([]bool, 3),
+		Blocks: []*ir.Block{
+			{ID: 0, Instrs: mk(), Term: ir.Terminator{Kind: ir.TermJump, Then: 2}},
+			{ID: 1, Instrs: mk(), Term: ir.Terminator{Kind: ir.TermJump, Then: 2}},
+			{ID: 2, Term: ir.Terminator{Kind: ir.TermReturn, Val: 2}},
+		},
+	}
+	if got := crossjumpSavings(f); got != 2 {
+		t.Errorf("savings = %d, want 2 (one duplicated tail)", got)
+	}
+}
+
+func TestReorderKeepsEntryFirstAndAllBlocks(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("a", ir.F64, 16)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.If(b.Gt(b.V("i"), b.I(4)),
+				b.Set(b.At("a", b.I(0)), b.F(1)),
+			),
+		),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBranchHints(lf)
+	before := len(lf.Blocks)
+	entry := lf.Blocks[0].ID
+	reorderBlockLayout(lf, true)
+	if len(lf.Blocks) != before {
+		t.Errorf("blocks %d -> %d after reorder", before, len(lf.Blocks))
+	}
+	if lf.Blocks[0].ID != entry {
+		t.Error("entry block moved")
+	}
+}

@@ -1,0 +1,358 @@
+// Package profiling implements the paper's offline profile run (§3):
+// it executes the instrumented tuning section over the tuning dataset and
+// gathers everything the Rating Approach Consultant and the rating methods
+// need — contexts and their frequencies, run-time-constant context
+// variables, MBR components with their profile-run fit, and baseline timing.
+package profiling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"peak/internal/analysis"
+	"peak/internal/bench"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/regress"
+	"peak/internal/sim"
+)
+
+// ContextStat aggregates one observed context.
+type ContextStat struct {
+	Key         string
+	Count       int
+	TotalCycles int64
+}
+
+// Profile is the outcome of one profile run.
+type Profile struct {
+	Benchmark string
+	Machine   string
+	Dataset   string
+
+	// Invocations is the number of TS invocations observed.
+	Invocations int
+	// TotalTSCycles is the reference version's total TS time; MeanCycles
+	// the per-invocation mean.
+	TotalTSCycles int64
+	MeanCycles    float64
+	// CoeffVar is the coefficient of variation of per-invocation times —
+	// the irregularity signal.
+	CoeffVar float64
+
+	// ContextSet is the static analysis result; ContextArraysConst tells
+	// whether every NeedConstArrays member stayed unchanged across the
+	// run; Vars is the context-variable set after run-time-constant
+	// elimination.
+	ContextSet         *analysis.ContextSet
+	ContextArraysConst bool
+	Vars               []analysis.ContextVar
+	// Contexts maps context key to stats (only when CBR is applicable).
+	Contexts map[string]*ContextStat
+	// DominantContext is the key with the largest total time.
+	DominantContext string
+
+	// Model is the merged component model; ModelVar its SSR/SST over the
+	// whole profile run (MBR's accuracy signal); CAvg the average
+	// component counts (paper Eq. 4).
+	Model    *analysis.ComponentModel
+	ModelVar float64
+	CAvg     []float64
+
+	// Effects is the TS's memory footprint for RBR save/restore.
+	Effects *analysis.MemEffects
+	// ModifiedInputElems is the number of elements RBR must save/restore.
+	ModifiedInputElems int
+}
+
+// Run profiles b's tuning section on dataset ds and machine m.
+func Run(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine) (*Profile, error) {
+	p := &Profile{
+		Benchmark: b.Name,
+		Machine:   m.Name,
+		Dataset:   ds.Name,
+		Contexts:  map[string]*ContextStat{},
+	}
+
+	cs, err := analysis.GetContextSet(b.TS, b.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("profiling %s: %w", b.Name, err)
+	}
+	p.ContextSet = cs
+	p.Effects = analysis.Effects(b.TS, b.Prog)
+
+	instr := analysis.Instrument(b.TS)
+	prog := b.Prog.Clone()
+	prog.AddFunc(instr)
+	version, err := opt.Compile(prog, instr, opt.O3(), m)
+	if err != nil {
+		return nil, fmt.Errorf("profiling %s: compile: %w", b.Name, err)
+	}
+
+	rng := rand.New(rand.NewSource(b.Seed(17)))
+	mem := sim.NewMemory(prog)
+	if ds.Setup != nil {
+		ds.Setup(mem, rng)
+	}
+	for _, arr := range p.Effects.ModifiedInput() {
+		if a := mem.Get(arr); a != nil {
+			p.ModifiedInputElems += len(a.Data)
+		}
+	}
+	runner := sim.NewRunner(m, mem, b.Seed(23))
+
+	// Checksum sampling for the run-time-constant array test.
+	p.ContextArraysConst = true
+	checksums := map[string]float64{}
+	checkArrays := func() {
+		for _, name := range cs.NeedConstArrays {
+			a := mem.Get(name)
+			if a == nil {
+				continue
+			}
+			var sum float64
+			for i, v := range a.Data {
+				sum += v * float64(i+1)
+			}
+			if prev, ok := checksums[name]; ok && prev != sum {
+				p.ContextArraysConst = false
+			}
+			checksums[name] = sum
+		}
+	}
+	checkEvery := ds.NumInvocations / 32
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+
+	// Per-variable run-time-constant detection.
+	firstVals := make(map[string]float64, len(cs.Vars))
+	varying := make(map[string]bool, len(cs.Vars))
+
+	times := make([]float64, 0, ds.NumInvocations)
+	counters := make([][]float64, 0, ds.NumInvocations)
+	keys := make([]string, 0, ds.NumInvocations)
+
+	for i := 0; i < ds.NumInvocations; i++ {
+		args := ds.Args(i, mem, rng)
+		if cs.Applicable && i%checkEvery == 0 {
+			checkArrays()
+		}
+		// Record raw context-variable values (pre-invocation state).
+		if cs.Applicable {
+			for _, v := range cs.Vars {
+				val := contextVarValue(v, b, args, mem)
+				name := v.String()
+				if fv, ok := firstVals[name]; ok {
+					if fv != val {
+						varying[name] = true
+					}
+				} else {
+					firstVals[name] = val
+				}
+			}
+		}
+		_, stats, err := runner.Run(version, args)
+		if err != nil {
+			return nil, fmt.Errorf("profiling %s: invocation %d: %w", b.Name, i, err)
+		}
+		times = append(times, float64(stats.Cycles))
+		p.TotalTSCycles += stats.Cycles
+		row := make([]float64, len(stats.Counters))
+		for c, v := range stats.Counters {
+			row[c] = float64(v)
+		}
+		counters = append(counters, row)
+		if cs.Applicable {
+			keys = append(keys, rawKey(cs.Vars, b, args, mem))
+		}
+	}
+	p.Invocations = ds.NumInvocations
+	p.MeanCycles = mean(times)
+	p.CoeffVar = coeffVar(times)
+
+	// Run-time-constant elimination (paper §2.2): context variables whose
+	// values never changed are dropped; remaining ones define the context.
+	if cs.Applicable && p.ContextArraysConst {
+		for _, v := range cs.Vars {
+			if varying[v.String()] {
+				p.Vars = append(p.Vars, v)
+			}
+		}
+		// Rebuild context keys over the reduced variable set.
+		reduced := rebuildKeys(cs.Vars, p.Vars, keys)
+		for i, k := range reduced {
+			st := p.Contexts[k]
+			if st == nil {
+				st = &ContextStat{Key: k}
+				p.Contexts[k] = st
+			}
+			st.Count++
+			st.TotalCycles += int64(times[i])
+		}
+		var best *ContextStat
+		for _, st := range p.Contexts {
+			if best == nil || st.TotalCycles > best.TotalCycles ||
+				(st.TotalCycles == best.TotalCycles && st.Key < best.Key) {
+				best = st
+			}
+		}
+		if best != nil {
+			p.DominantContext = best.Key
+		}
+	}
+
+	// MBR components and model fit.
+	if len(counters) > 0 && len(counters[0]) > 0 {
+		model, err := analysis.MergeComponents(counters)
+		if err == nil {
+			p.Model = model
+			x := make([][]float64, len(counters))
+			for i, row := range counters {
+				intRow := make([]int64, len(row))
+				for c, v := range row {
+					intRow[c] = int64(v)
+				}
+				x[i] = model.CountsFor(intRow)
+			}
+			if res, err := regress.Solve(x, times); err == nil {
+				p.ModelVar = res.VarRatio()
+			} else {
+				p.ModelVar = math.Inf(1)
+			}
+			p.CAvg = make([]float64, len(model.Components))
+			for _, row := range x {
+				for c, v := range row {
+					p.CAvg[c] += v
+				}
+			}
+			for c := range p.CAvg {
+				p.CAvg[c] /= float64(len(x))
+			}
+		}
+	}
+	return p, nil
+}
+
+// contextVarValue reads one context variable's value for an invocation.
+func contextVarValue(v analysis.ContextVar, b *bench.Benchmark, args []float64, mem *sim.Memory) float64 {
+	switch v.Kind {
+	case analysis.CtxParam:
+		ai := 0
+		for _, prm := range b.TS.Params {
+			if prm.IsArray {
+				continue
+			}
+			if prm.Name == v.Name {
+				if ai < len(args) {
+					return args[ai]
+				}
+				return 0
+			}
+			ai++
+		}
+	case analysis.CtxArrayElem:
+		if a := mem.Get(v.Name); a != nil && v.Index >= 0 && v.Index < int64(len(a.Data)) {
+			return a.Data[v.Index]
+		}
+	}
+	return 0
+}
+
+// rawKey builds the full-variable context key for an invocation.
+func rawKey(vars []analysis.ContextVar, b *bench.Benchmark, args []float64, mem *sim.Memory) string {
+	key := ""
+	for _, v := range vars {
+		key += fmt.Sprintf("%x|", contextVarValue(v, b, args, mem))
+	}
+	return key
+}
+
+// rebuildKeys projects full-variable keys onto the reduced variable set.
+func rebuildKeys(all, kept []analysis.ContextVar, keys []string) []string {
+	keepIdx := make([]bool, len(all))
+	for i, v := range all {
+		for _, k := range kept {
+			if v == k {
+				keepIdx[i] = true
+			}
+		}
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		parts := splitKey(k)
+		red := ""
+		for j, part := range parts {
+			if j < len(keepIdx) && keepIdx[j] {
+				red += part + "|"
+			}
+		}
+		out[i] = red
+	}
+	return out
+}
+
+func splitKey(k string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			parts = append(parts, k[start:i])
+			start = i + 1
+		}
+	}
+	return parts
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func coeffVar(xs []float64) float64 {
+	m := mean(xs)
+	if m == 0 || len(xs) < 2 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs)-1)) / m
+}
+
+// CBRKeyFor computes the runtime context key of an invocation over the
+// profile's reduced variable set (used by the CBR rater during tuning).
+func (p *Profile) CBRKeyFor(b *bench.Benchmark, args []float64, mem *sim.Memory) string {
+	return rawKey(p.Vars, b, args, mem)
+}
+
+// StaticKeyFor computes the context key over the full static context
+// variable set, before run-time-constant elimination. Online/adaptive
+// tuning uses it: a variable that never changed during the profile run may
+// well vary in production, and collapsing it would merge genuinely
+// different contexts.
+func (p *Profile) StaticKeyFor(b *bench.Benchmark, args []float64, mem *sim.Memory) string {
+	return rawKey(p.ContextSet.Vars, b, args, mem)
+}
+
+// NumContexts returns the number of distinct contexts observed.
+func (p *Profile) NumContexts() int { return len(p.Contexts) }
+
+// DominantShare returns the fraction of invocations belonging to the
+// dominant context (CBR's usable-sample rate).
+func (p *Profile) DominantShare() float64 {
+	st := p.Contexts[p.DominantContext]
+	if st == nil || p.Invocations == 0 {
+		return 0
+	}
+	return float64(st.Count) / float64(p.Invocations)
+}

@@ -1,0 +1,280 @@
+// Package regalloc implements linear-scan register allocation over LIR.
+//
+// The allocator assigns virtual registers to the machine's integer and
+// floating-point register files (allocated independently). Virtual registers
+// that do not fit are marked spilled; the execution engine charges the
+// machine's spill-load/spill-store costs on every dynamic access to a
+// spilled register.
+//
+// Register pressure is the main channel through which optimization flags
+// interact with the machine: strict-aliasing and loop-invariant code motion
+// lengthen live ranges, which overflows small register files (the paper's
+// ART-on-Pentium-IV anecdote, §5.2).
+package regalloc
+
+import (
+	"sort"
+
+	"peak/internal/ir"
+)
+
+// Result describes an allocation.
+type Result struct {
+	// Spilled[v] reports whether virtual register v lives in a stack slot.
+	Spilled []bool
+	// NumSpilled counts spilled virtual registers.
+	NumSpilled int
+	// IntPressure and FloatPressure are the maximum number of
+	// simultaneously live intervals per file (before spilling).
+	IntPressure   int
+	FloatPressure int
+}
+
+type interval struct {
+	reg        ir.Reg
+	start, end int
+	// weight estimates dynamic access frequency (loop depth based); the
+	// allocator prefers to spill light intervals.
+	weight float64
+}
+
+// maxOverlap returns the maximum number of simultaneously live intervals —
+// the true register pressure, independent of spilling decisions.
+func maxOverlap(ivs []*interval) int {
+	type event struct {
+		pos   int
+		delta int
+	}
+	events := make([]event, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		events = append(events, event{iv.start, +1}, event{iv.end + 1, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		return events[i].delta < events[j].delta // close before open at same pos
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Allocate runs linear scan for f on a machine with the given register file
+// sizes. extraIntRegs models flags such as omit-frame-pointer that free an
+// additional allocatable register.
+func Allocate(f *ir.LFunc, intRegs, floatRegs int) Result {
+	intervals := buildIntervals(f)
+
+	res := Result{Spilled: make([]bool, f.NumRegs)}
+
+	var ints, floats []*interval
+	for i := range intervals {
+		iv := &intervals[i]
+		if iv.start < 0 {
+			continue // never used
+		}
+		if f.FloatReg[iv.reg] {
+			floats = append(floats, iv)
+		} else {
+			ints = append(ints, iv)
+		}
+	}
+	res.IntPressure = maxOverlap(ints)
+	res.FloatPressure = maxOverlap(floats)
+	scan(ints, intRegs, res.Spilled)
+	scan(floats, floatRegs, res.Spilled)
+	for _, s := range res.Spilled {
+		if s {
+			res.NumSpilled++
+		}
+	}
+	return res
+}
+
+// scan performs linear scan over one register file and marks spills.
+func scan(ivs []*interval, numRegs int, spilled []bool) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].reg < ivs[j].reg
+	})
+	var active []*interval
+	for _, iv := range ivs {
+		// Expire intervals that ended before iv starts.
+		live := active[:0]
+		for _, a := range active {
+			if a.end >= iv.start {
+				live = append(live, a)
+			}
+		}
+		active = live
+		active = append(active, iv)
+		if len(active) > numRegs {
+			// Spill the cheapest interval (lowest weight; ties broken by
+			// furthest end, the classic linear-scan heuristic).
+			victim := iv
+			for _, a := range active {
+				if a.weight < victim.weight ||
+					(a.weight == victim.weight && a.end > victim.end) {
+					victim = a
+				}
+			}
+			spilled[victim.reg] = true
+			for k, a := range active {
+				if a == victim {
+					active = append(active[:k], active[k+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// buildIntervals computes approximate live intervals: [first, last] position
+// of any def or use in layout order. An interval is widened to a whole loop
+// region only when the value is live across the loop's back edge — i.e. the
+// loop reads the register before (re)defining it, so each iteration consumes
+// a value produced outside or by the previous iteration. Per-iteration
+// temporaries (defined before use within one iteration) keep their short
+// intervals, which is what keeps unrolled loop bodies allocatable.
+func buildIntervals(f *ir.LFunc) []interval {
+	intervals := make([]interval, f.NumRegs)
+	for i := range intervals {
+		intervals[i] = interval{reg: ir.Reg(i), start: -1, end: -1}
+	}
+	defPos := make([][]int, f.NumRegs)
+	usePos := make([][]int, f.NumRegs)
+
+	pos := 0
+	blockStart := make(map[int]int)
+	blockEnd := make(map[int]int)
+	touch := func(r ir.Reg, p int, w float64) {
+		if r == ir.NoReg {
+			return
+		}
+		iv := &intervals[r]
+		if iv.start < 0 || p < iv.start {
+			iv.start = p
+		}
+		if p > iv.end {
+			iv.end = p
+		}
+		iv.weight += w
+	}
+
+	// Parameters are defined at entry.
+	for _, r := range f.ParamRegs {
+		if r != ir.NoReg {
+			touch(r, 0, 1)
+			defPos[r] = append(defPos[r], 0)
+		}
+	}
+
+	var uses []ir.Reg
+	for _, b := range f.Blocks {
+		blockStart[b.ID] = pos
+		w := depthWeight(b.LoopDepth)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				touch(u, pos, w)
+				usePos[u] = append(usePos[u], pos)
+			}
+			if d := in.Def(); d != ir.NoReg {
+				touch(d, pos, w)
+				defPos[d] = append(defPos[d], pos)
+			}
+			pos++
+		}
+		if b.Term.Kind == ir.TermBranch && b.Term.Cond != ir.NoReg {
+			touch(b.Term.Cond, pos, w)
+			usePos[b.Term.Cond] = append(usePos[b.Term.Cond], pos)
+		}
+		if b.Term.Kind == ir.TermReturn && b.Term.Val != ir.NoReg {
+			touch(b.Term.Val, pos, w)
+			usePos[b.Term.Val] = append(usePos[b.Term.Val], pos)
+		}
+		pos++
+		blockEnd[b.ID] = pos - 1
+	}
+
+	// Loop regions from back edges (target block starts at or before the
+	// branching block in layout order).
+	type region struct{ start, end int }
+	var loops []region
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			ls, ok1 := blockStart[s]
+			le, ok2 := blockEnd[b.ID]
+			if ok1 && ok2 && ls <= le {
+				loops = append(loops, region{ls, le})
+			}
+		}
+	}
+
+	// liveAcross reports whether reg r carries a value across lp's back
+	// edge: some use inside lp is not preceded (within lp) by a def, with
+	// an instruction's uses considered to happen before its def.
+	liveAcross := func(r ir.Reg, lp region) bool {
+		firstDef := lp.end + 1
+		for _, d := range defPos[r] {
+			if d >= lp.start && d <= lp.end && d < firstDef {
+				firstDef = d
+			}
+		}
+		hasDefIn := firstDef <= lp.end
+		for _, u := range usePos[r] {
+			if u < lp.start || u > lp.end {
+				continue
+			}
+			if u < firstDef || (u == firstDef && hasDefIn) {
+				return true
+			}
+			if !hasDefIn {
+				// Used in the loop, defined entirely outside: live for the
+				// whole loop execution.
+				return true
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := range intervals {
+			iv := &intervals[i]
+			if iv.start < 0 {
+				continue
+			}
+			for _, lp := range loops {
+				if iv.start <= lp.end && iv.end >= lp.start && liveAcross(iv.reg, lp) {
+					if iv.start > lp.start {
+						iv.start = lp.start
+						changed = true
+					}
+					if iv.end < lp.end {
+						iv.end = lp.end
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return intervals
+}
+
+func depthWeight(depth int) float64 {
+	w := 1.0
+	for i := 0; i < depth && i < 6; i++ {
+		w *= 10
+	}
+	return w
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/lower"
+	"peak/internal/machine"
+	"peak/internal/regalloc"
+)
+
+// These tests lock in the microarchitectural cost-model behaviours the
+// paper's effects depend on: branch misprediction, spill traffic,
+// scheduling stalls, icache overflow, and cost modifiers.
+
+// branchyVersion builds a loop whose branch outcome stream is given by the
+// gate array contents.
+func branchyVersion(t *testing.T, m *machine.Machine) (*Version, *ir.Program) {
+	t.Helper()
+	prog := ir.NewProgram()
+	prog.AddArray("gate", ir.I64, 512)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.IfElse(b.Gt(b.At("gate", b.V("i")), b.I(0)),
+				b.Stmts(b.Set(b.V("s"), b.Add(b.V("s"), b.I(1)))),
+				b.Stmts(b.Set(b.V("s"), b.Add(b.V("s"), b.I(2)))),
+			),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Version{
+		LF:         lf,
+		Alloc:      regalloc.Allocate(lf, m.IntRegs, m.FloatRegs),
+		Mods:       DefaultCostMods(),
+		CodeSize:   lf.InstrCount(),
+		NumOrigins: len(lf.Blocks),
+	}, prog
+}
+
+func TestMispredictPenaltyObservable(t *testing.T) {
+	m := machine.PentiumIV()
+	v, prog := branchyVersion(t, m)
+
+	run := func(pattern func(i int) float64) int64 {
+		mem := NewMemory(prog)
+		d := mem.Get("gate").Data
+		for i := range d {
+			d[i] = pattern(i)
+		}
+		r := NewRunner(m, mem, 1)
+		// Warm the cache so only predictor effects differ.
+		if _, _, err := r.Run(v, []float64{512}); err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := r.Run(v, []float64{512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	predictable := run(func(i int) float64 { return 1 })
+	alternating := run(func(i int) float64 { return float64(i % 2) }) // worst case for 2-bit counters
+	if alternating <= predictable {
+		t.Fatalf("alternating branches (%d cycles) not slower than predictable (%d)",
+			alternating, predictable)
+	}
+	// The 2-bit counter mispredicts about every other iteration on the
+	// alternating stream.
+	if delta := alternating - predictable; delta < 512*int64(m.MispredictPenalty)/3 {
+		t.Errorf("mispredict delta %d too small for penalty %d", delta, m.MispredictPenalty)
+	}
+}
+
+func TestSpillCostObservable(t *testing.T) {
+	m := machine.PentiumIV()
+	prog := ir.NewProgram()
+	prog.AddArray("w", ir.F64, 64)
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("w", b.V("i")))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(alloc regalloc.Result) *Version {
+		return &Version{LF: lf, Alloc: alloc, Mods: DefaultCostMods(),
+			CodeSize: lf.InstrCount(), NumOrigins: len(lf.Blocks)}
+	}
+	noSpill := mk(regalloc.Allocate(lf, 32, 32))
+	allSpill := regalloc.Allocate(lf, 32, 32)
+	for i := range allSpill.Spilled {
+		allSpill.Spilled[i] = true
+	}
+	spilled := mk(allSpill)
+
+	mem := NewMemory(prog)
+	r := NewRunner(m, mem, 1)
+	_, fast, err := r.Run(noSpill, []float64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ResetMicroarch()
+	_, slow, err := r.Run(spilled, []float64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("spilled version (%d) not slower than allocated (%d)", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestICacheOverflowPenalty(t *testing.T) {
+	m := machine.SPARCII()
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.Add(b.V("s"), b.V("i"))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := regalloc.Allocate(lf, m.IntRegs, m.FloatRegs)
+	small := &Version{LF: lf, Alloc: alloc, Mods: DefaultCostMods(),
+		CodeSize: lf.InstrCount(), NumOrigins: len(lf.Blocks)}
+	huge := &Version{LF: lf, Alloc: alloc, Mods: DefaultCostMods(),
+		CodeSize: m.ICacheInstrs * 3, NumOrigins: len(lf.Blocks)}
+
+	mem := NewMemory(prog)
+	r := NewRunner(m, mem, 1)
+	_, a, err := r.Run(small, []float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bb, err := r.Run(huge, []float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Cycles <= a.Cycles {
+		t.Errorf("icache-overflowing version (%d) not slower than small (%d)", bb.Cycles, a.Cycles)
+	}
+}
+
+func TestSchedulingStallsObservable(t *testing.T) {
+	// Two orders of the same computation: dependent chain back-to-back vs
+	// interleaved independent work. In-order issue must charge stalls for
+	// the former.
+	m := machine.PentiumIV()
+	mkVersion := func(instrs []ir.Instr) *Version {
+		lf := &ir.LFunc{
+			Name:     "f",
+			NumRegs:  8,
+			FloatReg: []bool{false, true, true, true, true, true, true, true},
+			Blocks: []*ir.Block{{
+				ID: 0, Instrs: instrs,
+				Term: ir.Terminator{Kind: ir.TermReturn, Val: 7},
+			}},
+		}
+		return &Version{LF: lf, Alloc: regalloc.Allocate(lf, 16, 16),
+			Mods: DefaultCostMods(), CodeSize: len(instrs), NumOrigins: 1}
+	}
+	movf := func(dst ir.Reg, v float64) ir.Instr {
+		return ir.Instr{Op: ir.LMovF, Dst: dst, A: ir.NoReg, B: ir.NoReg, Src: ir.NoReg, FImm: v}
+	}
+	fmul := func(dst, a, b ir.Reg) ir.Instr {
+		return ir.Instr{Op: ir.LFMul, Dst: dst, A: a, B: b, Src: ir.NoReg}
+	}
+	// Chained: each fmul consumes the previous result immediately.
+	chained := mkVersion([]ir.Instr{
+		movf(1, 1.01), movf(2, 1.02),
+		fmul(3, 1, 2), fmul(4, 3, 2), fmul(5, 4, 2), fmul(6, 5, 2), fmul(7, 6, 2),
+	})
+	// Independent: products of fresh inputs, then a final combine.
+	independent := mkVersion([]ir.Instr{
+		movf(1, 1.01), movf(2, 1.02), movf(3, 1.03), movf(4, 1.04),
+		fmul(5, 1, 2), fmul(6, 3, 4), fmul(3, 1, 4), fmul(4, 2, 2),
+		fmul(7, 5, 6),
+	})
+	prog := ir.NewProgram()
+	mem := NewMemory(prog)
+	r := NewRunner(m, mem, 1)
+	_, c, err := r.Run(chained, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ind, err := r.Run(independent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The independent version executes MORE instructions yet should not
+	// be proportionally slower, because the chain stalls on latency.
+	perInstrChained := float64(c.Cycles) / float64(c.Instrs)
+	perInstrIndep := float64(ind.Cycles) / float64(ind.Instrs)
+	if perInstrIndep >= perInstrChained {
+		t.Errorf("independent work %.2f cyc/instr not cheaper than chained %.2f",
+			perInstrIndep, perInstrChained)
+	}
+}
+
+func TestCostModsApplied(t *testing.T) {
+	m := machine.SPARCII()
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.Call("sqrt", b.FAdd(b.V("s"), b.F(1)))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := regalloc.Allocate(lf, m.IntRegs, m.FloatRegs)
+	mk := func(mods CostMods) *Version {
+		return &Version{LF: lf, Alloc: alloc, Mods: mods,
+			CodeSize: lf.InstrCount(), NumOrigins: len(lf.Blocks)}
+	}
+	mem := NewMemory(prog)
+	r := NewRunner(m, mem, 1)
+	base := mk(DefaultCostMods())
+	cheapCalls := DefaultCostMods()
+	cheapCalls.CallOverheadFactor = 0.5
+	cheap := mk(cheapCalls)
+	_, sBase, err := r.Run(base, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sCheap, err := r.Run(cheap, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sCheap.Cycles >= sBase.Cycles {
+		t.Errorf("CallOverheadFactor 0.5 (%d cycles) not cheaper than 1.0 (%d)",
+			sCheap.Cycles, sBase.Cycles)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	m := machine.PentiumIV()
+	v, prog := branchyVersion(t, m)
+	cycles := func() int64 {
+		mem := NewMemory(prog)
+		d := mem.Get("gate").Data
+		for i := range d {
+			d[i] = float64(i % 3)
+		}
+		r := NewRunner(m, mem, 99)
+		_, st, err := r.Run(v, []float64{300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	a, b := cycles(), cycles()
+	if a != b {
+		t.Errorf("non-deterministic execution: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,572 @@
+// Package sim executes compiled LIR versions on a simulated machine and
+// reports cycle-accurate costs.
+//
+// The engine models, per dynamic instruction: issue cost, result latency
+// (exposed as stalls unless hidden by instruction scheduling), data-cache
+// latency for loads/stores, spill traffic for virtual registers the
+// allocator could not keep in the register file, a 2-bit branch predictor
+// with a machine-specific mispredict penalty, taken-branch fetch redirects,
+// and an instruction-cache overflow penalty for oversized versions.
+//
+// Raw cycle counts are deterministic. Measurement noise (timer jitter and
+// rare outlier spikes from simulated system perturbations) is added by
+// Clock, mirroring the measurement conditions the paper's window/variance
+// machinery is designed for (paper §3).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"peak/internal/cache"
+	"peak/internal/ir"
+	"peak/internal/machine"
+	"peak/internal/regalloc"
+)
+
+// CostMods carries code-generation quality factors that optimization flags
+// set without changing the instruction stream (block layout, alignment,
+// call linkage).
+type CostMods struct {
+	// TakenBranchFactor scales the taken-branch redirect cost
+	// (reorder-blocks, align-jumps/loops/labels lower it).
+	TakenBranchFactor float64
+	// CallOverheadFactor scales call linkage cost (defer-pop,
+	// optimize-sibling-calls, caller-saves).
+	CallOverheadFactor float64
+	// CodeSizeExtra is alignment padding added to the version's footprint.
+	CodeSizeExtra int
+	// StaticPredict biases the predictor's cold state when
+	// guess-branch-probability is on.
+	StaticPredict bool
+}
+
+// DefaultCostMods returns neutral modifiers.
+func DefaultCostMods() CostMods {
+	return CostMods{TakenBranchFactor: 1, CallOverheadFactor: 1}
+}
+
+// Version is a compiled, runnable code version of one function under one
+// optimization flag combination.
+type Version struct {
+	LF    *ir.LFunc
+	Alloc regalloc.Result
+	Mods  CostMods
+	// CodeSize is the version's instruction footprint including callees.
+	CodeSize int
+	// NumOrigins is the number of blocks in the reference lowering; block
+	// execution counts are reported per origin block.
+	NumOrigins int
+	// Callees maps user function names to their compiled versions.
+	Callees map[string]*Version
+	// Label identifies the flag combination (diagnostics).
+	Label string
+
+	blockIndex []int // block ID -> slice index (built lazily)
+}
+
+func (v *Version) index() []int {
+	if v.blockIndex == nil {
+		maxID := 0
+		for _, b := range v.LF.Blocks {
+			if b.ID > maxID {
+				maxID = b.ID
+			}
+		}
+		v.blockIndex = make([]int, maxID+1)
+		for i, b := range v.LF.Blocks {
+			v.blockIndex[b.ID] = i
+		}
+	}
+	return v.blockIndex
+}
+
+// RunStats reports the dynamic behaviour of one execution.
+type RunStats struct {
+	// Cycles is the deterministic simulated cost.
+	Cycles int64
+	// BlockCounts[origin] is the number of entries of each reference basic
+	// block (MBR component counting; paper §2.3). Indexed by origin ID.
+	BlockCounts []int64
+	// Counters are the per-run deltas of MBR instrumentation counters.
+	Counters []int64
+	// Instrs is the number of dynamic instructions executed.
+	Instrs int64
+}
+
+// Runner holds machine state that persists across executions: the data
+// cache, the branch predictor, and the noise source.
+type Runner struct {
+	Mach  *machine.Machine
+	Mem   *Memory
+	Cache *cache.Hierarchy
+
+	// pred holds 2-bit branch-predictor counters per version, indexed by
+	// block slice position; state persists across invocations within a
+	// program run (ResetMicroarch clears it).
+	pred map[*Version][]uint8
+	rng  *rand.Rand
+
+	// MaxSteps bounds dynamic instructions per Run (guards against
+	// miscompiled infinite loops). Zero means the default of 100M.
+	MaxSteps int64
+
+	// CollectBlockCounts enables per-origin block execution counting
+	// (needed by profiling; off by default to keep the hot path lean).
+	CollectBlockCounts bool
+
+	// RecordWrites enables the write log: every store appends the
+	// overwritten (array, index, old value) triple to WriteLog. This is
+	// the paper's RBR "inspector code that records the addresses and
+	// values of the write references" (§2.4.2), enabling element-accurate
+	// undo instead of whole-array save/restore.
+	RecordWrites bool
+	// WriteLog holds the recorded writes (oldest first). Callers clear it
+	// between executions with WriteLog = WriteLog[:0].
+	WriteLog []WriteRec
+
+	// scratch buffers reused across invocations, one pair per call depth.
+	scratchRegs  [][]float64
+	scratchReady [][]int64
+}
+
+// frame returns zeroed register/ready buffers for a call depth.
+func (r *Runner) frame(depth, n int) ([]float64, []int64) {
+	for len(r.scratchRegs) <= depth {
+		r.scratchRegs = append(r.scratchRegs, nil)
+		r.scratchReady = append(r.scratchReady, nil)
+	}
+	if cap(r.scratchRegs[depth]) < n {
+		r.scratchRegs[depth] = make([]float64, n)
+		r.scratchReady[depth] = make([]int64, n)
+	}
+	regs := r.scratchRegs[depth][:n]
+	ready := r.scratchReady[depth][:n]
+	for i := range regs {
+		regs[i] = 0
+		ready[i] = 0
+	}
+	return regs, ready
+}
+
+// NewRunner creates a runner for machine m over memory mem, with a
+// deterministic noise source derived from seed.
+func NewRunner(m *machine.Machine, mem *Memory, seed int64) *Runner {
+	return &Runner{
+		Mach:  m,
+		Mem:   mem,
+		Cache: cache.NewHierarchy(m),
+		pred:  make(map[*Version][]uint8),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ResetMicroarch clears cache and predictor state (start of a program run).
+func (r *Runner) ResetMicroarch() {
+	r.Cache.Reset()
+	r.pred = make(map[*Version][]uint8)
+}
+
+// predictor returns the branch-counter slice for v, creating it cold with
+// static hints applied when the version was built with StaticPredict.
+func (r *Runner) predictor(v *Version) []uint8 {
+	if p, ok := r.pred[v]; ok {
+		return p
+	}
+	p := make([]uint8, len(v.LF.Blocks))
+	if v.Mods.StaticPredict {
+		for i, b := range v.LF.Blocks {
+			if b.Term.Kind == ir.TermBranch {
+				switch {
+				case b.Term.Likely > 0:
+					p[i] = 3
+				case b.Term.Likely < 0:
+					p[i] = 0
+				default:
+					p[i] = 1
+				}
+			}
+		}
+	}
+	r.pred[v] = p
+	return p
+}
+
+// ErrRuntime wraps simulated program errors (bounds, division by zero).
+var ErrRuntime = errors.New("simulated runtime error")
+
+// Run executes version v with the given scalar arguments and returns its
+// return value (NaN if none) and execution statistics.
+func (r *Runner) Run(v *Version, args []float64) (float64, RunStats, error) {
+	stats := RunStats{}
+	if r.CollectBlockCounts {
+		stats.BlockCounts = make([]int64, v.NumOrigins)
+	}
+	if v.LF.NumCounters > 0 {
+		stats.Counters = make([]int64, v.LF.NumCounters)
+	}
+	maxSteps := r.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100_000_000
+	}
+	ex := &execState{r: r, stats: &stats, maxSteps: maxSteps}
+	ret, cycles, err := ex.exec(v, args, 0)
+	stats.Cycles = cycles
+	return ret, stats, err
+}
+
+type execState struct {
+	r        *Runner
+	stats    *RunStats
+	steps    int64
+	maxSteps int64
+}
+
+const maxCallDepth = 16
+
+func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64, error) {
+	if depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("%w: call depth exceeded", ErrRuntime)
+	}
+	r := ex.r
+	m := r.Mach
+	lf := v.LF
+	regs, ready := r.frame(depth, lf.NumRegs)
+	ai := 0
+	for i, p := range lf.Params {
+		if p.IsArray {
+			continue
+		}
+		if ai < len(args) && lf.ParamRegs[i] != ir.NoReg {
+			regs[lf.ParamRegs[i]] = args[ai]
+		}
+		ai++
+	}
+
+	idx := v.index()
+	pred := r.predictor(v)
+	spilled := v.Alloc.Spilled
+	var cycle int64
+	var fetchPenalty float64
+	overflow := 0
+	if total := v.CodeSize + v.Mods.CodeSizeExtra; total > m.ICacheInstrs {
+		overflow = total - m.ICacheInstrs
+	}
+	perBlockFetch := 0.0
+	if overflow > 0 {
+		perBlockFetch = m.FetchPenalty * float64(overflow) / float64(m.ICacheInstrs)
+	}
+
+	cur := 0 // slice index of current block
+	for {
+		b := lf.Blocks[cur]
+		if depth == 0 && b.Origin >= 0 && b.Origin < len(ex.stats.BlockCounts) {
+			ex.stats.BlockCounts[b.Origin]++
+		}
+		fetchPenalty += perBlockFetch
+
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.LNop {
+				continue
+			}
+			if in.Op == ir.LCount {
+				if c := int(in.Imm); c >= 0 && c < len(ex.stats.Counters) {
+					ex.stats.Counters[c]++
+				}
+				continue
+			}
+			ex.steps++
+			ex.stats.Instrs++
+			if ex.steps > ex.maxSteps {
+				return 0, cycle, fmt.Errorf("%w: step limit exceeded in %s", ErrRuntime, lf.Name)
+			}
+
+			// Issue: stall until operands are ready; add spill loads.
+			issue := cycle
+			cost := m.OpCost[in.Op]
+			var extraLat int64
+			switch in.Op {
+			case ir.LMovI, ir.LMovF:
+			case ir.LCall:
+				for _, u := range in.CallArgs {
+					if ready[u] > issue {
+						issue = ready[u]
+					}
+					if spilled[u] {
+						cost += m.SpillLoadCost
+					}
+				}
+			default:
+				if in.A != ir.NoReg {
+					if ready[in.A] > issue {
+						issue = ready[in.A]
+					}
+					if spilled[in.A] {
+						cost += m.SpillLoadCost
+					}
+				}
+				if in.B != ir.NoReg {
+					if ready[in.B] > issue {
+						issue = ready[in.B]
+					}
+					if spilled[in.B] {
+						cost += m.SpillLoadCost
+					}
+				}
+				if in.Src != ir.NoReg {
+					if ready[in.Src] > issue {
+						issue = ready[in.Src]
+					}
+					if spilled[in.Src] {
+						cost += m.SpillLoadCost
+					}
+				}
+			}
+
+			var val float64
+			switch in.Op {
+			case ir.LMovI:
+				val = float64(in.Imm)
+			case ir.LMovF:
+				val = in.FImm
+			case ir.LMov:
+				val = regs[in.A]
+			case ir.LAdd, ir.LFAdd:
+				val = regs[in.A] + regs[in.B]
+			case ir.LSub, ir.LFSub:
+				val = regs[in.A] - regs[in.B]
+			case ir.LMul, ir.LFMul:
+				val = regs[in.A] * regs[in.B]
+			case ir.LFDiv:
+				val = regs[in.A] / regs[in.B]
+			case ir.LDiv:
+				d := int64(regs[in.B])
+				if d == 0 {
+					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, lf.Name)
+				}
+				val = float64(int64(regs[in.A]) / d)
+			case ir.LMod:
+				d := int64(regs[in.B])
+				if d == 0 {
+					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, lf.Name)
+				}
+				val = float64(int64(regs[in.A]) % d)
+			case ir.LAnd:
+				val = float64(int64(regs[in.A]) & int64(regs[in.B]))
+			case ir.LOr:
+				val = float64(int64(regs[in.A]) | int64(regs[in.B]))
+			case ir.LXor:
+				val = float64(int64(regs[in.A]) ^ int64(regs[in.B]))
+			case ir.LShl:
+				val = float64(int64(regs[in.A]) << (uint64(int64(regs[in.B])) & 63))
+			case ir.LShr:
+				val = float64(int64(regs[in.A]) >> (uint64(int64(regs[in.B])) & 63))
+			case ir.LNeg, ir.LFNeg:
+				val = -regs[in.A]
+			case ir.LNot:
+				if regs[in.A] == 0 {
+					val = 1
+				}
+			case ir.LCmpEq, ir.LFCmpEq:
+				val = b2f(regs[in.A] == regs[in.B])
+			case ir.LCmpNe, ir.LFCmpNe:
+				val = b2f(regs[in.A] != regs[in.B])
+			case ir.LCmpLt, ir.LFCmpLt:
+				val = b2f(regs[in.A] < regs[in.B])
+			case ir.LCmpLe, ir.LFCmpLe:
+				val = b2f(regs[in.A] <= regs[in.B])
+			case ir.LCmpGt, ir.LFCmpGt:
+				val = b2f(regs[in.A] > regs[in.B])
+			case ir.LCmpGe, ir.LFCmpGe:
+				val = b2f(regs[in.A] >= regs[in.B])
+			case ir.LSelect:
+				if regs[in.A] != 0 {
+					val = regs[in.B]
+				} else {
+					val = regs[in.Src]
+				}
+			case ir.LLoad:
+				arr, err := r.Mem.array(in.Arr)
+				if err != nil {
+					return 0, cycle, err
+				}
+				i64 := int64(regs[in.A])
+				if i64 < 0 || i64 >= int64(len(arr.Data)) {
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, in.Arr, i64, len(arr.Data), lf.Name)
+				}
+				val = arr.Data[i64]
+				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
+			case ir.LStore:
+				arr, err := r.Mem.array(in.Arr)
+				if err != nil {
+					return 0, cycle, err
+				}
+				i64 := int64(regs[in.A])
+				if i64 < 0 || i64 >= int64(len(arr.Data)) {
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, in.Arr, i64, len(arr.Data), lf.Name)
+				}
+				if r.RecordWrites {
+					r.WriteLog = append(r.WriteLog, WriteRec{Arr: in.Arr, Idx: i64, Old: arr.Data[i64]})
+				}
+				arr.Data[i64] = regs[in.Src]
+				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
+			case ir.LCall:
+				callArgs := make([]float64, len(in.CallArgs))
+				for k, ar := range in.CallArgs {
+					callArgs[k] = regs[ar]
+				}
+				cost += int64(float64(m.CallOverhead) * v.Mods.CallOverheadFactor)
+				if _, ok := ir.IsIntrinsic(in.Fn); ok {
+					val = intrinsic(in.Fn, callArgs)
+					cost += m.IntrinsicCost
+				} else {
+					callee, ok := v.Callees[in.Fn]
+					if !ok {
+						return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, in.Fn)
+					}
+					rv, ccycles, err := ex.exec(callee, callArgs, depth+1)
+					if err != nil {
+						return 0, cycle, err
+					}
+					val = rv
+					cost += ccycles
+				}
+			}
+
+			if d := in.Def(); d != ir.NoReg {
+				regs[d] = val
+				ready[d] = issue + cost + m.OpLatency[in.Op] + extraLat
+				if spilled[d] {
+					cost += m.SpillStoreCost
+				}
+			} else if in.Op == ir.LStore {
+				// Store completion can overlap; charge only issue cost.
+				_ = extraLat
+			}
+			cycle = issue + cost
+		}
+
+		// Terminator.
+		t := &b.Term
+		switch t.Kind {
+		case ir.TermReturn:
+			total := cycle + int64(fetchPenalty)
+			if t.Val != ir.NoReg {
+				return regs[t.Val], total, nil
+			}
+			return math.NaN(), total, nil
+		case ir.TermJump:
+			next := idx[t.Then]
+			if next != cur+1 {
+				cycle += int64(float64(m.TakenBranchCost) * v.Mods.TakenBranchFactor)
+			}
+			cur = next
+		case ir.TermBranch:
+			if ready[t.Cond] > cycle {
+				cycle = ready[t.Cond]
+			}
+			if spilled[t.Cond] {
+				cycle += m.SpillLoadCost
+			}
+			taken := regs[t.Cond] != 0
+			state := pred[cur]
+			predTaken := state >= 2
+			if predTaken != taken {
+				cycle += m.MispredictPenalty
+			}
+			if taken && state < 3 {
+				state++
+			} else if !taken && state > 0 {
+				state--
+			}
+			pred[cur] = state
+
+			var next int
+			if taken {
+				next = idx[t.Then]
+			} else {
+				next = idx[t.Else]
+			}
+			if next != cur+1 {
+				cycle += int64(float64(m.TakenBranchCost) * v.Mods.TakenBranchFactor)
+			}
+			cur = next
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func intrinsic(name string, args []float64) float64 {
+	switch name {
+	case "sqrt":
+		return math.Sqrt(args[0])
+	case "abs":
+		return math.Abs(args[0])
+	case "floor":
+		return math.Floor(args[0])
+	case "sin":
+		return math.Sin(args[0])
+	case "cos":
+		return math.Cos(args[0])
+	case "exp":
+		return math.Exp(args[0])
+	case "log":
+		return math.Log(args[0])
+	case "min":
+		return math.Min(args[0], args[1])
+	case "max":
+		return math.Max(args[0], args[1])
+	case "imin":
+		if args[0] < args[1] {
+			return args[0]
+		}
+		return args[1]
+	case "imax":
+		if args[0] > args[1] {
+			return args[0]
+		}
+		return args[1]
+	}
+	return math.NaN()
+}
+
+// Clock converts deterministic cycle counts into noisy "measured" times.
+type Clock struct {
+	mach *machine.Machine
+	rng  *rand.Rand
+	// NoiseOff disables noise injection (ablation experiments).
+	NoiseOff bool
+}
+
+// NewClock returns a measurement clock with deterministic noise from seed.
+func NewClock(m *machine.Machine, seed int64) *Clock {
+	return &Clock{mach: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Measure returns the noisy measured time for a run of the given cycle
+// count: multiplicative Gaussian jitter plus rare additive outlier spikes.
+func (c *Clock) Measure(cycles int64) float64 {
+	t := float64(cycles)
+	if c.NoiseOff {
+		return t
+	}
+	t *= 1 + c.rng.NormFloat64()*c.mach.NoiseStdDev
+	if c.rng.Float64() < c.mach.OutlierProb {
+		t *= 1 + c.mach.OutlierScale*(0.5+c.rng.Float64())
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

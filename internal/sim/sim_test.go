@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/lower"
+	"peak/internal/machine"
+	"peak/internal/regalloc"
+)
+
+// compile lowers fn in prog and wraps it into a runnable Version with a
+// full register allocation on the given machine.
+func compile(t *testing.T, prog *ir.Program, fn *ir.Func, m *machine.Machine) *Version {
+	t.Helper()
+	lf, err := lower.Lower(prog, fn)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return &Version{
+		LF:         lf,
+		Alloc:      regalloc.Allocate(lf, m.IntRegs, m.FloatRegs),
+		Mods:       DefaultCostMods(),
+		CodeSize:   lf.InstrCount(),
+		NumOrigins: len(lf.Blocks),
+		Label:      "test",
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("x", ir.F64, 64)
+	b := irbuild.NewFunc("sum")
+	b.ScalarParam("n", ir.I64).ArrayParam("x").Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("x", b.V("i")))),
+		),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+
+	m := machine.SPARCII()
+	mem := NewMemory(prog)
+	arr := mem.Get("x")
+	want := 0.0
+	for i := range arr.Data {
+		arr.Data[i] = float64(i) * 0.5
+		if i < 10 {
+			want += arr.Data[i]
+		}
+	}
+
+	r := NewRunner(m, mem, 1)
+	v := compile(t, prog, fn, m)
+	got, stats, err := r.Run(v, []float64{10})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if stats.Cycles <= 0 {
+		t.Errorf("cycles = %d, want > 0", stats.Cycles)
+	}
+	if stats.Instrs <= 0 {
+		t.Errorf("instrs = %d, want > 0", stats.Instrs)
+	}
+}
+
+func TestIfElseAndIntOps(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("a", ir.I64).ScalarParam("c", ir.I64).Local("r", ir.I64)
+	fn := b.Body(
+		b.IfElse(b.Gt(b.V("a"), b.I(5)),
+			b.Stmts(b.Set(b.V("r"), b.Mod(b.V("a"), b.I(3)))),
+			b.Stmts(b.Set(b.V("r"), b.Shl(b.V("a"), b.I(2)))),
+		),
+		b.Set(b.V("r"), b.Xor(b.V("r"), b.And(b.V("c"), b.I(12)))),
+		b.Ret(b.V("r")),
+	)
+	prog.AddFunc(fn)
+	m := machine.PentiumIV()
+	r := NewRunner(m, NewMemory(prog), 2)
+	v := compile(t, prog, fn, m)
+
+	cases := []struct{ a, c, want float64 }{
+		{9, 15, float64((9 % 3) ^ (15 & 12))},
+		{2, 7, float64((2 << 2) ^ (7 & 12))},
+	}
+	for _, tc := range cases {
+		got, _, err := r.Run(v, []float64{tc.a, tc.c})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got != tc.want {
+			t.Errorf("f(%v,%v) = %v, want %v", tc.a, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestWhileBreak(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("v", ir.I64, 32)
+	b := irbuild.NewFunc("find")
+	b.ScalarParam("n", ir.I64).ScalarParam("key", ir.I64).Local("i", ir.I64).Local("found", ir.I64)
+	fn := b.Body(
+		b.Set(b.V("found"), b.I(-1)),
+		b.Set(b.V("i"), b.I(0)),
+		b.While(b.Lt(b.V("i"), b.V("n")),
+			b.If(b.Eq(b.At("v", b.V("i")), b.V("key")),
+				b.Set(b.V("found"), b.V("i")),
+				b.Break(),
+			),
+			b.Set(b.V("i"), b.Add(b.V("i"), b.I(1))),
+		),
+		b.Ret(b.V("found")),
+	)
+	prog.AddFunc(fn)
+	m := machine.SPARCII()
+	mem := NewMemory(prog)
+	for i := range mem.Get("v").Data {
+		mem.Get("v").Data[i] = float64(i * 7)
+	}
+	r := NewRunner(m, mem, 3)
+	v := compile(t, prog, fn, m)
+
+	got, _, err := r.Run(v, []float64{20, 21})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("find(21) = %v, want 3", got)
+	}
+	got, _, err = r.Run(v, []float64{20, 22})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != -1 {
+		t.Errorf("find(22) = %v, want -1", got)
+	}
+}
+
+func TestGlobalScalars(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddScalar("g", ir.I64)
+	b := irbuild.NewFunc("bump")
+	b.ScalarParam("d", ir.I64)
+	fn := b.Body(
+		b.Set(b.V("g"), b.Add(b.V("g"), b.V("d"))),
+		b.Ret(b.V("g")),
+	)
+	prog.AddFunc(fn)
+	m := machine.SPARCII()
+	mem := NewMemory(prog)
+	r := NewRunner(m, mem, 4)
+	v := compile(t, prog, fn, m)
+
+	for i := 1; i <= 3; i++ {
+		got, _, err := r.Run(v, []float64{2})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if want := float64(2 * i); got != want {
+			t.Errorf("bump #%d = %v, want %v", i, got, want)
+		}
+	}
+	if g := mem.Get(lower.GlobalsArray).Data[0]; g != 6 {
+		t.Errorf("global g = %v, want 6", g)
+	}
+}
+
+func TestUserCallAndIntrinsics(t *testing.T) {
+	prog := ir.NewProgram()
+	cb := irbuild.NewFunc("hyp")
+	cb.ScalarParam("a", ir.F64).ScalarParam("b", ir.F64)
+	callee := cb.Body(
+		cb.Ret(cb.Call("sqrt", cb.FAdd(cb.FMul(cb.V("a"), cb.V("a")), cb.FMul(cb.V("b"), cb.V("b"))))),
+	)
+	prog.AddFunc(callee)
+
+	b := irbuild.NewFunc("main")
+	b.ScalarParam("x", ir.F64)
+	fn := b.Body(b.Ret(b.Call("hyp", b.V("x"), b.F(4))))
+	prog.AddFunc(fn)
+
+	m := machine.PentiumIV()
+	r := NewRunner(m, NewMemory(prog), 5)
+	v := compile(t, prog, fn, m)
+	cv := compile(t, prog, callee, m)
+	v.Callees = map[string]*Version{"hyp": cv}
+
+	got, _, err := r.Run(v, []float64{3})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 5 {
+		t.Errorf("hyp(3,4) = %v, want 5", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("x", ir.F64, 4)
+	b := irbuild.NewFunc("oob")
+	b.ScalarParam("i", ir.I64)
+	fn := b.Body(b.Ret(b.At("x", b.V("i"))))
+	prog.AddFunc(fn)
+	m := machine.SPARCII()
+	r := NewRunner(m, NewMemory(prog), 6)
+	v := compile(t, prog, fn, m)
+
+	if _, _, err := r.Run(v, []float64{9}); err == nil {
+		t.Error("out-of-bounds read did not fail")
+	}
+	if _, _, err := r.Run(v, []float64{-1}); err == nil {
+		t.Error("negative index did not fail")
+	}
+	if _, _, err := r.Run(v, []float64{2}); err != nil {
+		t.Errorf("in-bounds read failed: %v", err)
+	}
+
+	db := irbuild.NewFunc("divz")
+	db.ScalarParam("d", ir.I64)
+	dfn := db.Body(db.Ret(db.Div(db.I(10), db.V("d"))))
+	prog.AddFunc(dfn)
+	dv := compile(t, prog, dfn, m)
+	if _, _, err := r.Run(dv, []float64{0}); err == nil {
+		t.Error("division by zero did not fail")
+	}
+}
+
+func TestCachePersistsAcrossRuns(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.AddArray("big", ir.F64, 8192)
+	b := irbuild.NewFunc("scan")
+	b.ScalarParam("n", ir.I64).Local("s", ir.F64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.FAdd(b.V("s"), b.At("big", b.V("i"))))),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	m := machine.PentiumIV()
+	r := NewRunner(m, NewMemory(prog), 7)
+	v := compile(t, prog, fn, m)
+
+	_, cold, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	_, warm, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm run (%d cycles) not faster than cold run (%d cycles)", warm.Cycles, cold.Cycles)
+	}
+	r.ResetMicroarch()
+	_, cold2, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if cold2.Cycles <= warm.Cycles {
+		t.Errorf("post-reset run (%d) not slower than warm run (%d)", cold2.Cycles, warm.Cycles)
+	}
+}
+
+func TestClockNoise(t *testing.T) {
+	m := machine.SPARCII()
+	c := NewClock(m, 42)
+	const cycles = 1_000_000
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := c.Measure(cycles)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean/cycles-1) > 0.02 {
+		t.Errorf("noisy mean %v deviates from %d by more than 2%%", mean, cycles)
+	}
+	variance := sumSq/n - mean*mean
+	if variance <= 0 {
+		t.Error("noise has no variance")
+	}
+	c.NoiseOff = true
+	if got := c.Measure(cycles); got != cycles {
+		t.Errorf("NoiseOff Measure = %v, want %d", got, cycles)
+	}
+}
+
+func TestBlockCountsReported(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("loop")
+	b.ScalarParam("n", ir.I64).Local("s", ir.I64)
+	fn := b.Body(
+		b.For("i", b.I(0), b.V("n"), 1,
+			b.Set(b.V("s"), b.Add(b.V("s"), b.V("i")))),
+		b.Ret(b.V("s")),
+	)
+	prog.AddFunc(fn)
+	m := machine.SPARCII()
+	r := NewRunner(m, NewMemory(prog), 8)
+	r.CollectBlockCounts = true
+	v := compile(t, prog, fn, m)
+
+	_, stats, err := r.Run(v, []float64{7})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var bodyCount int64
+	for id, b := range v.LF.Blocks {
+		_ = id
+		if b.LoopDepth == 1 && b.Term.Kind == ir.TermJump {
+			bodyCount = stats.BlockCounts[b.Origin]
+		}
+	}
+	if bodyCount != 7 {
+		t.Errorf("loop body executed %d times, want 7", bodyCount)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: RatingError's relative form is scale-invariant — multiplying
+// every rating by a constant leaves (μ, σ) unchanged — which is exactly why
+// the paper can compare consistency across tuning sections of wildly
+// different absolute speeds.
+func TestQuickRatingErrorScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		xs := make([]float64, 12)
+		s := uint64(seed)
+		for i := range xs {
+			s = s*6364136223846793005 + 1442695040888963407
+			xs[i] = 100 + float64(s%1000)/10
+		}
+		mu1, sd1 := RatingError(xs, true)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 37.5
+		}
+		mu2, sd2 := RatingError(scaled, true)
+		return math.Abs(mu1-mu2) < 1e-12 && math.Abs(sd1-sd2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the absolute (RBR) form is translation-sensitive in exactly the
+// Eq.-8 way: shifting all ratings by d shifts μ by d and leaves σ alone.
+func TestQuickRatingErrorRBRShift(t *testing.T) {
+	f := func(seed int64) bool {
+		xs := make([]float64, 10)
+		s := uint64(seed)
+		for i := range xs {
+			s = s*2862933555777941757 + 3037000493
+			xs[i] = 1 + float64(int64(s%200)-100)/10000
+		}
+		mu1, sd1 := RatingError(xs, false)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 0.05
+		}
+		mu2, sd2 := RatingError(shifted, false)
+		return math.Abs((mu2-mu1)-0.05) < 1e-12 && math.Abs(sd1-sd2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Welford must match the batch computation under adversarial magnitudes
+// (catastrophic-cancellation check).
+func TestWelfordNumericalStability(t *testing.T) {
+	var w Welford
+	base := 1e9
+	vals := []float64{base + 1, base + 2, base + 3, base + 4}
+	for _, v := range vals {
+		w.Add(v)
+	}
+	if math.Abs(w.Mean()-(base+2.5)) > 1e-6 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Exact variance of {1,2,3,4} is 5/3.
+	if math.Abs(w.Variance()-5.0/3.0) > 1e-6 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 5.0/3.0)
+	}
+}

@@ -1,0 +1,480 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peak/internal/bench"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/sim"
+)
+
+// Each Table-1 kernel is checked against a plain-Go oracle that mirrors its
+// HIR definition statement by statement. The oracle runs on a snapshot of
+// the pre-invocation memory; the compiled kernel runs in the simulator;
+// return values and written arrays must agree. Drivers mutate memory
+// between invocations, so several invocations are replayed to cover the
+// evolving state.
+
+type oracle func(args []float64, mem map[string][]float64) (ret float64, wrote map[string]bool)
+
+const semTol = 1e-9
+
+func close2(a, b float64) bool {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= semTol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// runSemantics replays `n` invocations of b's train dataset, comparing the
+// simulated kernel against the oracle each time.
+func runSemantics(t *testing.T, b *bench.Benchmark, ref oracle, n int) {
+	t.Helper()
+	m := machine.SPARCII()
+	v, err := opt.Compile(b.Prog, b.TS, opt.O0(), m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(b.Seed(91)))
+	mem := sim.NewMemory(b.Prog)
+	if b.Train.Setup != nil {
+		b.Train.Setup(mem, rng)
+	}
+	runner := sim.NewRunner(m, mem, b.Seed(97))
+
+	for i := 0; i < n; i++ {
+		args := b.Train.Args(i, mem, rng)
+
+		// Oracle state: a full copy of the pre-invocation memory.
+		shadow := map[string][]float64{}
+		for _, name := range mem.Names() {
+			shadow[name] = append([]float64(nil), mem.Get(name).Data...)
+		}
+		wantRet, wrote := ref(args, shadow)
+
+		gotRet, _, err := runner.Run(v, args)
+		if err != nil {
+			t.Fatalf("%s invocation %d: %v", b.Name, i, err)
+		}
+		if !close2(gotRet, wantRet) && !(math.IsNaN(wantRet) && math.IsNaN(gotRet)) {
+			t.Fatalf("%s invocation %d: return %v, oracle %v (args %v)", b.Name, i, gotRet, wantRet, args)
+		}
+		for name := range wrote {
+			got := mem.Get(name).Data
+			want := shadow[name]
+			for k := range want {
+				if !close2(got[k], want[k]) {
+					t.Fatalf("%s invocation %d: %s[%d] = %v, oracle %v", b.Name, i, name, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSemanticsSWIM(t *testing.T) {
+	refCalc3 := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		n, alpha := int(args[0]), args[1]
+		smooth := func(old, cur, next []float64, idx int) {
+			old[idx] = cur[idx] + alpha*((next[idx]-2*cur[idx])+old[idx])
+		}
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				idx := i*n + j
+				smooth(mm["uo"], mm["u"], mm["un"], idx)
+				smooth(mm["vo"], mm["v"], mm["vn"], idx)
+				smooth(mm["po"], mm["p"], mm["pn"], idx)
+			}
+		}
+		return math.NaN(), map[string]bool{"uo": true, "vo": true, "po": true}
+	}
+	runSemantics(t, SWIM(), refCalc3, 5)
+}
+
+func TestSemanticsMGRID(t *testing.T) {
+	refResid := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		n := int(args[0])
+		n2 := n * n
+		mu, mv, mr := mm["mu"], mm["mv"], mm["mr"]
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				for k := 1; k < n-1; k++ {
+					idx := i*n2 + j*n + k
+					s := (mu[idx+1] + mu[idx-1]) + ((mu[idx+n] + mu[idx-n]) + (mu[idx+n2] + mu[idx-n2]))
+					mr[idx] = mv[idx] - (0.8*mu[idx] + -0.25*s)
+				}
+			}
+		}
+		return math.NaN(), map[string]bool{"mr": true}
+	}
+	runSemantics(t, MGRID(), refResid, 8)
+}
+
+func TestSemanticsAPPLU(t *testing.T) {
+	refBlts := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		nx, omega := int(args[0]), args[1]
+		n2 := nx * nx
+		av, ald := mm["av"], mm["ald"]
+		for i := 1; i < nx; i++ {
+			for j := 1; j < nx; j++ {
+				for k := 1; k < nx; k++ {
+					idx := i*n2 + j*nx + k
+					av[idx] = av[idx] - omega*(ald[idx]*av[idx-1]+ald[idx-nx]*av[idx-nx])
+				}
+			}
+		}
+		return math.NaN(), map[string]bool{"av": true}
+	}
+	runSemantics(t, APPLU(), refBlts, 4)
+}
+
+func TestSemanticsAPSI(t *testing.T) {
+	refRadb4 := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		ido, l1 := int(args[0]), int(args[1])
+		cc, ch := mm["cc"], mm["ch"]
+		for k := 0; k < l1; k++ {
+			for i := 0; i < ido; i++ {
+				b := (k*ido + i) * 4
+				t0 := cc[b] + cc[b+2]
+				t1 := cc[b] - cc[b+2]
+				t2 := cc[b+1] + cc[b+3]
+				t3 := cc[b+3] - cc[b+1]
+				ch[b] = t0 + t2
+				ch[b+1] = t1 + t3
+				ch[b+2] = t0 - t2
+				ch[b+3] = t1 - t3
+			}
+		}
+		return math.NaN(), map[string]bool{"ch": true}
+	}
+	runSemantics(t, APSI(), refRadb4, 6)
+}
+
+func TestSemanticsEQUAKE(t *testing.T) {
+	refSmvp := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		n := int(args[0])
+		col, idx, val, vin, vout := mm["Acol"], mm["Aidx"], mm["Aval"], mm["vin"], mm["vout"]
+		for i := 0; i < n; i++ {
+			sum := 1.1 * vin[i]
+			for j := int(col[i]); j < int(col[i+1]); j++ {
+				sum += val[j] * vin[int(idx[j])]
+			}
+			vout[i] = sum
+		}
+		return math.NaN(), map[string]bool{"vout": true}
+	}
+	runSemantics(t, EQUAKE(), refSmvp, 6)
+}
+
+func TestSemanticsART(t *testing.T) {
+	refMatch := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		numf1s, rho := int(args[0]), args[1]
+		fI, fW, fP, fX, fQ, fU := mm["fI"], mm["fW"], mm["fP"], mm["fX"], mm["fQ"], mm["fU"]
+		tds, bus, g := mm["tds"], mm["bus"], mm["glob"]
+		sum, best := 0.0, -1e30
+		resets := 0.0
+		for j := 0; j < numf1s; j++ {
+			u := (fI[j]*g[0] + fW[j]*g[1]) + (fP[j]*g[2] + (fI[j]-fP[j])*g[8])
+			q := (fX[j]*g[3] + fQ[j]*g[4]) + (fX[j]+fQ[j])*g[9]
+			r := (u*g[5] + q*g[6]) + ((u-q)*g[10] + (u+q)*g[11])
+			if tds[j] > rho {
+				r = r * g[7]
+			}
+			if r > best {
+				best = r
+			}
+			if u < 0 {
+				u = 0 - u
+			} else {
+				resets += 1
+			}
+			if q > 0.9 {
+				q = 0.9
+			}
+			if bus[j] < u {
+				bus[j] = u
+			}
+			if r > rho {
+				sum += r * 0.5
+			}
+			if fX[j] > fQ[j] {
+				q = q * 0.99
+			}
+			if fW[j] < r*0.3 {
+				resets += 2
+			}
+			if u+q > 1.4 {
+				sum -= 0.01
+			}
+			sum += r + q
+			fU[j] = u
+		}
+		_ = resets
+		return sum + best, map[string]bool{"bus": true, "fU": true}
+	}
+	runSemantics(t, ART(), refMatch, 5)
+}
+
+func TestSemanticsMESA(t *testing.T) {
+	refSample := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		tc, n, mode := args[0], args[1], int(args[2])
+		tex, out := mm["tex"], mm["out"]
+		u := tc*n - 0.5
+		if u < 0 {
+			if mode == 0 {
+				u = u + n
+			} else {
+				u = 0
+			}
+		}
+		if u >= n {
+			if mode == 0 {
+				u = u - n
+			} else {
+				u = n - 1
+			}
+		}
+		i0 := math.Floor(u)
+		a := u - i0
+		if i0 < 0 {
+			i0 = 0
+		}
+		i1 := i0 + 1
+		if i1 >= n {
+			if mode == 0 {
+				i1 = 0
+			} else {
+				i1 = n - 1
+			}
+		}
+		if i0 >= n {
+			i0 = n - 1
+		}
+		out[0] = (1-a)*tex[int(i0)] + a*tex[int(i1)]
+		return out[0], map[string]bool{"out": true}
+	}
+	runSemantics(t, MESA(), refSample, 60)
+}
+
+func TestSemanticsWUPWISE(t *testing.T) {
+	refZgemm := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		m, nn, kk := int(args[0]), int(args[1]), int(args[2])
+		zar, zai, zbr, zbi := mm["zar"], mm["zai"], mm["zbr"], mm["zbi"]
+		zcr, zci := mm["zcr"], mm["zci"]
+		for i := 0; i < m; i++ {
+			for j := 0; j < nn; j++ {
+				sr, si := 0.0, 0.0
+				for k := 0; k < kk; k++ {
+					ia := i*kk + k
+					ib := k*nn + j
+					sr += zar[ia]*zbr[ib] - zai[ia]*zbi[ib]
+					si += zar[ia]*zbi[ib] + zai[ia]*zbr[ib]
+				}
+				zcr[i*nn+j] = sr
+				zci[i*nn+j] = si
+			}
+		}
+		return math.NaN(), map[string]bool{"zcr": true, "zci": true}
+	}
+	runSemantics(t, WUPWISE(), refZgemm, 6)
+}
+
+func TestSemanticsBZIP2(t *testing.T) {
+	refFullGtU := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		i1, i2 := int(args[0]), int(args[1])
+		block, quad := mm["block"], mm["quad"]
+		res, done := 0, 0
+		for k := 0; k < 48 && done == 0; k++ {
+			c1, c2 := int(block[i1+k]), int(block[i2+k])
+			if c1 > c2 {
+				res, done = 1, 1
+			}
+			if c1 < c2 {
+				res, done = 0, 1
+			}
+			if done == 0 {
+				c1, c2 = int(quad[i1+k]), int(quad[i2+k])
+				if c1 > c2 {
+					res, done = 1, 1
+				}
+				if c1 < c2 {
+					res, done = 0, 1
+				}
+			}
+		}
+		return float64(res), map[string]bool{}
+	}
+	runSemantics(t, BZIP2(), refFullGtU, 40)
+}
+
+func TestSemanticsCRAFTY(t *testing.T) {
+	refAttacked := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		sq, side := int(args[0]), int(args[1])
+		board, dirs := mm["board"], mm["dirs"]
+		hit := 0
+		for d := 0; d < 8; d++ {
+			step := int(dirs[d])
+			pos := sq + step
+			blocked := 0
+			for pos >= 0 && pos < 128 && blocked == 0 {
+				if int(board[pos]) == 0 {
+					pos += step
+				} else {
+					blocked = 1
+				}
+			}
+			if pos >= 0 && pos < 128 {
+				pc := int(board[pos])
+				if pc*side == -2 {
+					hit++
+				}
+				if pc*side == -3 && d < 4 {
+					hit += 2
+				}
+				if pc*side == -5 && d >= 4 {
+					hit += 4
+				}
+			}
+		}
+		return float64(hit), map[string]bool{}
+	}
+	runSemantics(t, CRAFTY(), refAttacked, 30)
+}
+
+func TestSemanticsGZIP(t *testing.T) {
+	refLongestMatch := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		cur, prevLen := int(args[0]), int(args[1])
+		win, chain := mm["win"], mm["chain"]
+		const chainN = 1024
+		bestLen := prevLen
+		match := cur % chainN
+		tries, stop := 32, 0
+		for tries > 0 && stop == 0 {
+			match = int(chain[match%chainN])
+			if match >= cur {
+				stop = 1
+			}
+			if stop == 0 {
+				if win[match+bestLen] == win[cur+bestLen] {
+					l := 0
+					for l < 64 && win[match+l] == win[cur+l] {
+						l++
+					}
+					if l > bestLen {
+						bestLen = l
+					}
+					if bestLen >= 64 {
+						stop = 1
+					}
+				}
+			}
+			tries--
+		}
+		return float64(bestLen), map[string]bool{}
+	}
+	runSemantics(t, GZIP(), refLongestMatch, 40)
+}
+
+func TestSemanticsMCF(t *testing.T) {
+	refPrimal := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		start, nArcs := int(args[0]), int(args[1])
+		const arcN = 2048
+		cost, potT, potH, basket := mm["cost"], mm["potTail"], mm["potHead"], mm["basket"]
+		worst := 0.0
+		nb := 0
+		for k := 0; k < nArcs; k++ {
+			a := (start + k) % arcN
+			red := (cost[a] + potH[a]) - potT[a]
+			if red < 0 {
+				if nb < 60 {
+					basket[nb] = red
+					nb++
+				}
+				if red < worst {
+					worst = red
+				}
+			}
+			if red > 2 {
+				cost[a] = cost[a] * 0.999
+			}
+		}
+		return worst + float64(nb), map[string]bool{"cost": true, "basket": true}
+	}
+	runSemantics(t, MCF(), refPrimal, 12)
+}
+
+func TestSemanticsTWOLF(t *testing.T) {
+	refDbox := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		first, npins := int(args[0]), int(args[1])
+		const pinN = 1024
+		px, py := mm["px"], mm["py"]
+		xmin, ymin := 1<<20, 1<<20
+		xmax, ymax := -(1 << 20), -(1 << 20)
+		cost := 0
+		for k := 0; k < npins; k++ {
+			p := (first + k) % pinN
+			x, y := int(px[p]), int(py[p])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+			if x+y > 1500 {
+				cost += 2
+			}
+			if x-y < -700 {
+				cost++
+			}
+		}
+		return float64((xmax - xmin) + (ymax - ymin) + cost), map[string]bool{}
+	}
+	runSemantics(t, TWOLF(), refDbox, 15)
+}
+
+func TestSemanticsVORTEX(t *testing.T) {
+	refChk := func(args []float64, mm map[string][]float64) (float64, map[string]bool) {
+		id := int(args[0])
+		status, size, link := mm["status"], mm["size"], mm["link"]
+		errv, hops := 0, 0
+		if int(status[id]) == 0 {
+			errv = 1
+		}
+		if errv == 0 {
+			sz := int(size[id])
+			if sz < 8 {
+				errv = 2
+			}
+			if sz > 900 {
+				errv = 3
+			}
+		}
+		if errv == 0 {
+			next := int(link[id])
+			hops = 0
+			for next > 0 && hops < 6 {
+				if int(status[next]) == 0 {
+					errv = 4
+					next = 0
+				} else {
+					next = int(link[next])
+				}
+				hops++
+			}
+		}
+		if hops > 4 {
+			errv += 8
+		}
+		return float64(errv), map[string]bool{}
+	}
+	runSemantics(t, VORTEX(), refChk, 60)
+}

@@ -1,0 +1,79 @@
+// Package workloads defines the 14 benchmark kernels mirroring the tuning
+// sections of the paper's Table 1 (SPEC CPU 2000). Each kernel reproduces
+// the *shape* that drives rating-method applicability — regular vs
+// irregular control flow, context structure, component structure,
+// invocation counts — rather than the exact SPEC computation (DESIGN.md §2).
+//
+// Invocation counts are scaled down from the paper's (column 4 of Table 1,
+// recorded in Benchmark.PaperInvocations); relative magnitudes between
+// benchmarks are preserved where practical.
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+
+	"peak/internal/bench"
+	"peak/internal/sim"
+)
+
+// All returns every benchmark, in the paper's Table-1 order (integer codes
+// first, then floating point).
+func All() []*bench.Benchmark {
+	return []*bench.Benchmark{
+		BZIP2(), CRAFTY(), GZIP(), MCF(), TWOLF(), VORTEX(),
+		APPLU(), APSI(), ART(), MGRID(), EQUAKE(), MESA(), SWIM(), WUPWISE(),
+	}
+}
+
+// ByName returns the benchmark with the given (case-sensitive) name.
+func ByName(name string) (*bench.Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists all benchmark names in Table-1 order.
+func Names() []string {
+	bs := All()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Figure7Set returns the four benchmarks of the paper's Figure-7
+// performance experiments: SWIM, MGRID, ART and EQUAKE.
+func Figure7Set() []*bench.Benchmark {
+	return []*bench.Benchmark{SWIM(), MGRID(), ART(), EQUAKE()}
+}
+
+// sortedNames returns map keys in deterministic order (helper for tests).
+func sortedNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fillUniform fills the named array with uniform values in [lo, hi).
+func fillUniform(mem *sim.Memory, name string, rng *rand.Rand, lo, hi float64) {
+	d := mem.Get(name).Data
+	for i := range d {
+		d[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// fillInts fills the named array with integers in [0, n).
+func fillInts(mem *sim.Memory, name string, rng *rand.Rand, n int) {
+	d := mem.Get(name).Data
+	for i := range d {
+		d[i] = float64(rng.Intn(n))
+	}
+}

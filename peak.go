@@ -1,0 +1,237 @@
+// Package peak is the public facade of this repository: a reproduction of
+//
+//	Zhelong Pan and Rudolf Eigenmann,
+//	"Rating Compiler Optimizations for Automatic Performance Tuning",
+//	Supercomputing 2004 (SC'04).
+//
+// PEAK is an automatic performance tuning system. It partitions a program
+// into tuning sections, rates differently-optimized code versions of each
+// section with one of three context-fair rating methods — context-based
+// (CBR), model-based (MBR) and re-execution-based (RBR) rating — and
+// searches the compiler-flag space with Iterative Elimination to find the
+// best flag combination per section.
+//
+// Because the original substrate (GCC 3.3, SPARC II and Pentium IV
+// hardware, SPEC CPU 2000) is not reproducible from pure Go, this module
+// implements the complete stack as a deterministic simulation: a two-level
+// IR with an optimizing compiler exposing the 38 "-O3" flags, a
+// cycle-cost execution engine with caches, branch prediction, instruction
+// scheduling stalls and register pressure, and 14 workload kernels that
+// mirror the tuning sections of the paper's Table 1. See DESIGN.md for the
+// substitution map and EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Quick start
+//
+//	b, _ := peak.BenchmarkByName("ART")
+//	m := peak.PentiumIV()
+//	res, err := peak.TuneBenchmark(b, m, nil)   // profile + consult + tune
+//	fmt.Println(res.MethodUsed, res.Best)       // RBR, flags without strict-aliasing
+//
+// Lower-level building blocks (IR construction, compilation, simulation,
+// individual raters) live in the internal packages and are exercised by
+// the example programs under examples/.
+package peak
+
+import (
+	"fmt"
+
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/experiments"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/profiling"
+	"peak/internal/workloads"
+)
+
+// Re-exported core types. Method, Rating, Config and results keep their
+// full documentation in the core package.
+type (
+	// Benchmark is a program with one tuning section plus train/ref
+	// datasets.
+	Benchmark = bench.Benchmark
+	// Dataset drives the tuning section through one program run.
+	Dataset = bench.Dataset
+	// Machine is a simulated target description.
+	Machine = machine.Machine
+	// Method identifies a rating method (CBR, MBR, RBR, AVG, WHL).
+	Method = core.Method
+	// Rating is the (EVAL, VAR) pair of one rated version.
+	Rating = core.Rating
+	// Config holds the rating-process parameters.
+	Config = core.Config
+	// TuneResult reports a finished tuning process.
+	TuneResult = core.TuneResult
+	// Profile is the outcome of an offline profile run.
+	Profile = profiling.Profile
+	// Applicability is the Rating Approach Consultant's verdict.
+	Applicability = core.Applicability
+	// FlagSet is a set of enabled optimization flags.
+	FlagSet = opt.FlagSet
+	// ConsistencyRow is one row of the Table-1 consistency experiment.
+	ConsistencyRow = core.ConsistencyRow
+	// Fig7Entry is one bar group of the Figure-7 experiments.
+	Fig7Entry = experiments.Fig7Entry
+	// AdaptiveTuner tunes during production runs (the paper's §6 online
+	// scenario); AdaptiveResult reports one adaptive run.
+	AdaptiveTuner = core.AdaptiveTuner
+	// AdaptiveResult reports one adaptive production run.
+	AdaptiveResult = core.AdaptiveResult
+	// Composite is a whole application with several candidate tuning
+	// sections (input to the TS Selector, paper §4.1).
+	Composite = bench.Composite
+	// SectionStat reports a candidate section's profiled time share.
+	SectionStat = core.SectionStat
+	// SelectorConfig tunes the TS Selector.
+	SelectorConfig = core.SelectorConfig
+)
+
+// Rating methods.
+const (
+	CBR = core.MethodCBR
+	MBR = core.MethodMBR
+	RBR = core.MethodRBR
+	AVG = core.MethodAVG
+	WHL = core.MethodWHL
+)
+
+// SPARCII returns the SPARC-II-like simulated machine.
+func SPARCII() *Machine { return machine.SPARCII() }
+
+// PentiumIV returns the Pentium-IV-like simulated machine.
+func PentiumIV() *Machine { return machine.PentiumIV() }
+
+// MachineByName resolves "sparc2" or "p4".
+func MachineByName(name string) (*Machine, bool) { return machine.ByName(name) }
+
+// Benchmarks returns all 14 Table-1 workload kernels.
+func Benchmarks() []*Benchmark { return workloads.All() }
+
+// BenchmarkByName returns the named workload ("SWIM", "ART", ...).
+func BenchmarkByName(name string) (*Benchmark, bool) { return workloads.ByName(name) }
+
+// BenchmarkNames lists the workload names in Table-1 order.
+func BenchmarkNames() []string { return workloads.Names() }
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ParseMethodName resolves a rating-method name ("CBR", "RBR", ...).
+func ParseMethodName(s string) (Method, bool) { return core.ParseMethod(s) }
+
+// O3 returns the full 38-flag optimization set; O0 the empty one.
+func O3() FlagSet { return opt.O3() }
+
+// O0 returns the empty optimization set.
+func O0() FlagSet { return opt.O0() }
+
+// ParseFlags parses "-O3", "-O0" or a list of "-f<name>" tokens.
+func ParseFlags(s string) (FlagSet, error) { return opt.ParseFlagSet(s) }
+
+// ProfileBenchmark runs the offline profile pass (paper §3) of b's tuning
+// section over its training dataset on machine m.
+func ProfileBenchmark(b *Benchmark, m *Machine) (*Profile, error) {
+	return profiling.Run(b, b.Train, m)
+}
+
+// Consult runs the Rating Approach Consultant on a profile.
+func Consult(p *Profile, cfg *Config) *Applicability { return core.Consult(p, cfg) }
+
+// TuneBenchmark profiles b on m, lets the consultant pick the rating
+// method, and runs the full PEAK tuning process on the training dataset.
+// cfg may be nil for the default configuration.
+func TuneBenchmark(b *Benchmark, m *Machine, cfg *Config) (*TuneResult, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	p, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		return nil, err
+	}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p}
+	return t.Tune()
+}
+
+// TuneWithMethod forces a specific rating method (the Figure-7 protocol).
+func TuneWithMethod(b *Benchmark, m *Machine, method Method, ds *Dataset, cfg *Config) (*TuneResult, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	if ds == nil {
+		ds = b.Train
+	}
+	p, err := profiling.Run(b, ds, m)
+	if err != nil {
+		return nil, err
+	}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: ds, Cfg: c, Profile: p, Force: &method}
+	return t.Tune()
+}
+
+// NewAdaptiveTuner builds an online tuner for b on m: it profiles the
+// benchmark for context keying and then tunes during production runs via
+// AdaptiveTuner.Run (no separate tuning time — the §6 scenario).
+func NewAdaptiveTuner(b *Benchmark, m *Machine, cfg *Config) (*AdaptiveTuner, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return core.NewAdaptiveTuner(b, m, c)
+}
+
+// Measure runs b's tuning section over ds with the given flags and returns
+// (TS cycles, whole-program cycles).
+func Measure(b *Benchmark, ds *Dataset, m *Machine, flags FlagSet) (int64, int64, error) {
+	return core.MeasurePerformance(b, ds, m, flags)
+}
+
+// SelectSections runs the TS Selector (paper §4.1) over a composite
+// program: it profiles all candidate sections and marks the
+// most-time-consuming ones for tuning.
+func SelectSections(c *Composite, m *Machine, cfg SelectorConfig) ([]SectionStat, error) {
+	return core.SelectSections(c, m, cfg)
+}
+
+// DefaultSelectorConfig mirrors the paper's selection criterion.
+func DefaultSelectorConfig() SelectorConfig { return core.DefaultSelectorConfig() }
+
+// Improvement converts two measured times into a relative improvement.
+func Improvement(base, tuned int64) float64 { return core.Improvement(base, tuned) }
+
+// Table1 regenerates the paper's Table-1 consistency experiment on m.
+func Table1(m *Machine, cfg *Config) ([]ConsistencyRow, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.Table1(m, experiments.PaperWindows, &c)
+}
+
+// Figure7 regenerates the paper's Figure-7 experiment on m.
+func Figure7(m *Machine, cfg *Config) ([]Fig7Entry, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.Figure7(m, &c)
+}
+
+// Validate sanity-checks a benchmark definition (useful when constructing
+// custom workloads against the public API).
+func Validate(b *Benchmark) error {
+	if b == nil || b.Prog == nil || b.TS == nil {
+		return fmt.Errorf("peak: benchmark missing program or tuning section")
+	}
+	if b.Prog.Funcs[b.TSName] != b.TS {
+		return fmt.Errorf("peak: tuning section %q not registered in program", b.TSName)
+	}
+	if b.Train == nil || b.Ref == nil {
+		return fmt.Errorf("peak: benchmark needs train and ref datasets")
+	}
+	if b.Train.NumInvocations <= 0 || b.Ref.NumInvocations <= 0 {
+		return fmt.Errorf("peak: datasets need positive invocation counts")
+	}
+	return nil
+}
