@@ -12,7 +12,9 @@ package peak
 // iteration for the heavy ones.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"peak/internal/core"
@@ -189,5 +191,31 @@ func BenchmarkProfileRun(b *testing.B) {
 		if _, err := ProfileBenchmark(bm, m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel tuning --------------------------------------------------------
+
+// BenchmarkParallelSpeedup contrasts a full tune on the serial pool against
+// the same tune sharded over an 8-worker pool. The results are
+// bit-identical by the internal/sched contract (TestPoolDeterminism
+// asserts it); the wall-time ratio only exceeds 1 when GOMAXPROCS allows
+// real concurrency — on a single-CPU machine the two run at the same
+// speed (EXPERIMENTS.md, "Parallel tuning").
+func BenchmarkParallelSpeedup(b *testing.B) {
+	bm, _ := workloads.ByName("SWIM")
+	m := machine.PentiumIV()
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := NewPool(workers)
+			for i := 0; i < b.N; i++ {
+				res, err := TuneBenchmarkOn(bm, m, nil, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Invocations), "invocations")
+			}
+		})
 	}
 }

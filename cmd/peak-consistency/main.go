@@ -5,20 +5,24 @@
 //
 // Usage:
 //
-//	peak-consistency [-machine sparc2]
+//	peak-consistency [-machine sparc2] [-workers 8] [-progress]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"peak"
 	"peak/internal/experiments"
+	"peak/internal/sched"
 )
 
 func main() {
 	machName := flag.String("machine", "sparc2", `machine: "sparc2" or "p4"`)
+	workers := flag.Int("workers", 1, "parallel workers (0 = GOMAXPROCS); any value gives identical output")
+	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 	flag.Parse()
 
 	m, ok := peak.MachineByName(*machName)
@@ -26,7 +30,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "peak-consistency: unknown machine %q\n", *machName)
 		os.Exit(1)
 	}
-	rows, err := peak.Table1(m, nil)
+	pool := peak.NewPool(*workers)
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
+	}
+	rows, err := peak.Table1On(m, nil, pool)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)
 		os.Exit(1)
@@ -34,4 +43,8 @@ func main() {
 	fmt.Printf("Table 1: consistency of rating approaches on %s\n", m.Name)
 	fmt.Println("(numbers are Mean(StdDev) of the rating error, multiplied by 100)")
 	fmt.Print(experiments.FormatTable1(rows, experiments.PaperWindows))
+	stopProgress()
+	if *progress {
+		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+	}
 }

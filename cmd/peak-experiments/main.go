@@ -7,6 +7,7 @@
 //
 //	peak-experiments                  # both machines (fig 7 a–d)
 //	peak-experiments -machine p4      # one machine
+//	peak-experiments -workers 8       # sharded; output identical to -workers 1
 //	peak-experiments -headline        # the abstract's summary numbers
 package main
 
@@ -14,13 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"peak"
 	"peak/internal/experiments"
+	"peak/internal/sched"
 )
 
 func main() {
 	machName := flag.String("machine", "", `machine: "sparc2", "p4", or empty for both`)
+	workers := flag.Int("workers", 1, "parallel workers (0 = GOMAXPROCS); any value gives identical output")
+	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 	headline := flag.Bool("headline", false, "also print the paper-abstract summary numbers")
 	flag.Parse()
 
@@ -37,9 +42,15 @@ func main() {
 		machines = []*peak.Machine{m}
 	}
 
+	pool := peak.NewPool(*workers)
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
+	}
+
 	var all []peak.Fig7Entry
 	for _, m := range machines {
-		entries, err := peak.Figure7(m, nil)
+		entries, err := peak.Figure7On(m, nil, pool)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 			os.Exit(1)
@@ -56,5 +67,9 @@ func main() {
 			100*h.MaxImprovement, 100*h.AvgImprovement)
 		fmt.Printf("  tuning-time reduction vs WHL: up to %.0f%% (%.0f%% on average)\n",
 			100*h.MaxReduction, 100*h.AvgReduction)
+	}
+	stopProgress()
+	if *progress {
+		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
 	}
 }

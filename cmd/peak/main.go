@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	peak -bench ART -machine p4 [-method RBR] [-dataset train] [-v]
+//	peak -bench ART -machine p4 [-method RBR] [-dataset train] [-workers 8] [-v]
 //	peak -list
 package main
 
@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"peak"
 	"peak/internal/opt"
+	"peak/internal/sched"
 )
 
 func main() {
@@ -23,6 +25,8 @@ func main() {
 		machName  = flag.String("machine", "p4", `machine: "sparc2" or "p4"`)
 		method    = flag.String("method", "", "force rating method (CBR, MBR, RBR, AVG, WHL); empty = consultant choice")
 		dataset   = flag.String("dataset", "train", `tuning dataset: "train" or "ref"`)
+		workers   = flag.Int("workers", 1, "parallel rating workers (0 = GOMAXPROCS); any value gives identical results")
+		progress  = flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		listFlags = flag.Bool("list-flags", false, "list the 38 tunable optimization flags and exit")
 		verbose   = flag.Bool("v", false, "print profile and consultant details")
@@ -81,18 +85,28 @@ func main() {
 		fmt.Println()
 	}
 
+	pool := peak.NewPool(*workers)
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
+	}
+
 	var res *peak.TuneResult
 	if *method == "" {
-		res, err = peak.TuneBenchmark(b, m, &cfg)
+		res, err = peak.TuneBenchmarkOn(b, m, &cfg, pool)
 	} else {
 		mm, ok := peak.ParseMethodName(*method)
 		if !ok {
 			fatalf("unknown method %q", *method)
 		}
-		res, err = peak.TuneWithMethod(b, m, mm, ds, &cfg)
+		res, err = peak.TuneWithMethodOn(b, m, mm, ds, &cfg, pool)
 	}
 	if err != nil {
 		fatalf("tune: %v", err)
+	}
+	stopProgress()
+	if *progress {
+		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
 	}
 
 	fmt.Printf("benchmark:      %s/%s on %s\n", b.Name, b.TSName, m.Name)

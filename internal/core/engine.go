@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"peak/internal/analysis"
 	"peak/internal/bench"
@@ -12,6 +13,7 @@ import (
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/profiling"
+	"peak/internal/sched"
 	"peak/internal/sim"
 )
 
@@ -30,6 +32,14 @@ type Tuner struct {
 	// experiments); leave nil for the consultant's automatic choice with
 	// runtime switching.
 	Force *Method
+
+	// Pool shards Iterative Elimination's independent candidate ratings
+	// across workers. Nil (or a sched.Serial pool) rates them one after
+	// another on the calling goroutine. The result is bit-identical at any
+	// worker count: every rating job derives its own random streams from
+	// sched.DeriveSeed(rootSeed, jobKey) and the round reduction runs in
+	// candidate order (see ARCHITECTURE.md for the determinism contract).
+	Pool sched.Pool
 }
 
 // TuneResult reports a finished tuning process.
@@ -55,29 +65,34 @@ type TuneResult struct {
 	Removed       []opt.Flag
 }
 
-// engine is the running state of one tuning process.
+// engine is the running state of one tuning process. Cross-job state is
+// limited to the compiled-version cache (behind mu) and the result ledger,
+// which only the reduction goroutine touches; everything execution-related
+// lives in per-job ratingCtx instances.
 type engine struct {
 	t       *Tuner
 	cfg     *Config
 	methods []Method
 	mi      int // index into methods
 	app     *Applicability
+	pool    sched.Pool
 
 	prog *ir.Program // program with the instrumented TS
 	ts   *ir.Func    // instrumented tuning section
 
+	// rootSeed is the root of every per-job seed derivation.
+	rootSeed int64
+
+	mu       sync.Mutex
 	versions map[opt.FlagSet]*sim.Version
-
-	mem    *sim.Memory
-	runner *sim.Runner
-	clock  *sim.Clock
-	rng    *rand.Rand
-
-	runActive bool
-	dsIdx     int
 
 	res      *TuneResult
 	switched int
+	// sharedInv counts the TS invocations the non-WHL rating jobs consumed.
+	// Those ratings are interleaved into shared application runs (the
+	// paper's "while the application runs" model), so the runs — and their
+	// non-TS time — are accounted once, by packing, when tuning finishes.
+	sharedInv int64
 }
 
 // Tune runs the complete offline tuning process.
@@ -89,7 +104,15 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 	if err := e.iterativeElimination(); err != nil {
 		return nil, err
 	}
-	e.finishRun()
+	// Pack the shared-run ratings into whole application runs: rating k
+	// invocations out of runs of N consumes ⌈k/N⌉ runs, each charging its
+	// non-TS time once. WHL's dedicated runs were accounted per job.
+	if e.sharedInv > 0 {
+		n := int64(t.Dataset.NumInvocations)
+		runs := (e.sharedInv + n - 1) / n
+		e.res.ProgramRuns += int(runs)
+		e.res.TuningCycles += runs * t.Bench.NonTSCycles
+	}
 	e.res.MethodUsed = e.methods[e.mi]
 	e.res.MethodSwitches = e.switched
 	return e.res, nil
@@ -97,11 +120,16 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 
 func (t *Tuner) newEngine() (*engine, error) {
 	cfg := t.Cfg
+	pool := t.Pool
+	if pool == nil {
+		pool = sched.NewSerial()
+	}
 	e := &engine{
 		t:        t,
 		cfg:      &cfg,
+		pool:     pool,
+		rootSeed: cfg.Seed ^ t.Bench.Seed(1),
 		versions: map[opt.FlagSet]*sim.Version{},
-		rng:      rand.New(rand.NewSource(cfg.Seed ^ t.Bench.Seed(1))),
 		res:      &TuneResult{},
 	}
 
@@ -123,14 +151,15 @@ func (t *Tuner) newEngine() (*engine, error) {
 	e.ts = analysis.StripCounters(instr, keep)
 	e.prog = t.Bench.Prog.Clone()
 	e.prog.AddFunc(e.ts)
-
-	e.mem = sim.NewMemory(e.prog)
-	e.runner = sim.NewRunner(t.Mach, e.mem, cfg.Seed^t.Bench.Seed(7))
-	e.clock = sim.NewClock(t.Mach, cfg.Seed^t.Bench.Seed(13))
 	return e, nil
 }
 
+// version returns the compiled version of the TS under fs, compiling and
+// freezing it on first use. The lock serializes compilation, so exactly
+// one Version exists per flag set no matter how many jobs request it.
 func (e *engine) version(fs opt.FlagSet) (*sim.Version, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if v, ok := e.versions[fs]; ok {
 		return v, nil
 	}
@@ -138,11 +167,72 @@ func (e *engine) version(fs opt.FlagSet) (*sim.Version, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
 	}
+	v.Freeze()
 	e.versions[fs] = v
 	return v, nil
 }
 
-func (e *engine) newRater(m Method) rater {
+// ratingCtx is one rating job's private execution context: simulated
+// memory, machine state, measurement clock and data RNG, all derived from
+// the job key. A job's outcome is therefore a pure function of
+// (benchmark, machine, profile, method, flag sets, root seed, job key) —
+// independent of scheduling order and worker count.
+type ratingCtx struct {
+	e      *engine
+	mem    *sim.Memory
+	runner *sim.Runner
+	clock  *sim.Clock
+	rng    *rand.Rand
+
+	dsIdx     int
+	runActive bool
+	// invocations counts TS invocations consumed; cycles the simulated
+	// time (TS executions, RBR overheads, and for WHL the non-TS part of
+	// its dedicated runs).
+	invocations int64
+	cycles      int64
+	// runs counts dedicated whole application runs (WHL only; shared-run
+	// ratings are packed globally by the engine).
+	runs int
+}
+
+func (e *engine) newRatingCtx(jobKey string) *ratingCtx {
+	mem := sim.NewMemory(e.prog)
+	return &ratingCtx{
+		e:      e,
+		mem:    mem,
+		runner: sim.NewRunner(e.t.Mach, mem, sched.DeriveSeed(e.rootSeed, jobKey+"/runner")),
+		clock:  sim.NewClock(e.t.Mach, sched.DeriveSeed(e.rootSeed, jobKey+"/clock")),
+		rng:    rand.New(rand.NewSource(sched.DeriveSeed(e.rootSeed, jobKey+"/data"))),
+	}
+}
+
+// startRun begins a fresh application run over the tuning dataset.
+func (c *ratingCtx) startRun() {
+	ds := c.e.t.Dataset
+	c.runner.ResetMicroarch()
+	if ds.Setup != nil {
+		ds.Setup(c.mem, c.rng)
+	}
+	c.dsIdx = 0
+	c.runActive = true
+}
+
+// nextInvocation yields the arguments (and CBR key) of the next TS
+// invocation, starting a new program run when the dataset is exhausted.
+func (c *ratingCtx) nextInvocation(needKey bool) (args []float64, key string) {
+	if !c.runActive || c.dsIdx >= c.e.t.Dataset.NumInvocations {
+		c.startRun()
+	}
+	args = c.e.t.Dataset.Args(c.dsIdx, c.mem, c.rng)
+	c.dsIdx++
+	if needKey {
+		key = c.e.t.Profile.CBRKeyFor(c.e.t.Bench, args, c.mem)
+	}
+	return args, key
+}
+
+func (e *engine) newRater(m Method, mem *sim.Memory) rater {
 	switch m {
 	case MethodAVG:
 		return &avgRater{cfg: e.cfg}
@@ -165,7 +255,7 @@ func (e *engine) newRater(m Method) rater {
 			r.saveElems = 0
 			for arr := range e.t.Profile.Effects.Reads {
 				r.modifiedInput = append(r.modifiedInput, arr)
-				if a := e.mem.Get(arr); a != nil {
+				if a := mem.Get(arr); a != nil {
 					r.saveElems += int64(len(a.Data))
 				}
 			}
@@ -176,142 +266,174 @@ func (e *engine) newRater(m Method) rater {
 	panic("core: newRater called for " + m.String())
 }
 
-// startRun begins a fresh application run over the tuning dataset.
-func (e *engine) startRun() {
-	ds := e.t.Dataset
-	e.runner.ResetMicroarch()
-	if ds.Setup != nil {
-		ds.Setup(e.mem, e.rng)
-	}
-	e.dsIdx = 0
-	e.runActive = true
-}
-
-// finishRun accounts the non-TS portion of a consumed application run.
-func (e *engine) finishRun() {
-	if e.runActive {
-		e.res.TuningCycles += e.t.Bench.NonTSCycles
-		e.res.ProgramRuns++
-		e.runActive = false
-	}
-}
-
-// nextInvocation yields the arguments (and CBR key) of the next TS
-// invocation, starting a new program run when the dataset is exhausted.
-func (e *engine) nextInvocation(needKey bool) (args []float64, key string) {
-	if !e.runActive || e.dsIdx >= e.t.Dataset.NumInvocations {
-		e.finishRun()
-		e.startRun()
-	}
-	args = e.t.Dataset.Args(e.dsIdx, e.mem, e.rng)
-	e.dsIdx++
-	if needKey {
-		key = e.t.Profile.CBRKeyFor(e.t.Bench, args, e.mem)
-	}
-	return args, key
+// jobResult is one rating job's outcome plus its ledger contribution.
+type jobResult struct {
+	rating    Rating
+	converged bool
+	ctx       *ratingCtx
+	err       error
 }
 
 // errMethodExhausted reports that no applicable rating method converged.
 var errMethodExhausted = fmt.Errorf("core: all rating methods failed to converge")
 
-// rate rates the experimental flag set against the base flag set using the
-// current method, switching to the next applicable method if convergence
-// is not reached within the invocation budget (§3).
-func (e *engine) rate(exp, base opt.FlagSet) (Rating, error) {
-	if e.methods[e.mi] == MethodWHL {
-		return e.rateWHL(exp)
-	}
-	for {
-		m := e.methods[e.mi]
-		r, ok, err := e.rateWith(m, exp, base)
-		if err != nil {
-			return Rating{}, err
-		}
-		if ok {
-			return r, nil
-		}
-		// Not converging: switch to the next applicable method.
-		if e.mi+1 >= len(e.methods) {
-			// Last resort: accept the unconverged rating.
-			return r, nil
-		}
-		e.mi++
-		e.switched++
-	}
-}
+// rateJob rates the experimental flag set against the base flag set with
+// method m in a fresh per-job context named by jobKey. It performs no
+// method switching — non-convergence is reported to the round reduction,
+// which owns that decision (§3's runtime switching, made deterministic).
+func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet) jobResult {
+	c := e.newRatingCtx(jobKey)
+	res := jobResult{ctx: c}
+	defer func() { e.pool.Stats().AddCycles(c.cycles) }()
 
-func (e *engine) rateWith(m Method, exp, base opt.FlagSet) (Rating, bool, error) {
 	expV, err := e.version(exp)
 	if err != nil {
-		return Rating{}, false, err
+		res.err = err
+		return res
+	}
+	if m == MethodWHL {
+		res.rating, res.err = e.rateWHL(c, expV)
+		res.converged = res.err == nil
+		return res
 	}
 	baseV, err := e.version(base)
 	if err != nil {
-		return Rating{}, false, err
+		res.err = err
+		return res
 	}
-	r := e.newRater(m)
+
+	r := e.newRater(m, c.mem)
 	needKey := m == MethodCBR
 	checkEvery := e.cfg.Window / 8
 	if checkEvery < 1 {
 		checkEvery = 1
 	}
 	for r.used() < e.cfg.MaxInvPerVersion {
-		args, key := e.nextInvocation(needKey)
+		args, key := c.nextInvocation(needKey)
 		ic := &invocation{
 			args: args, key: key,
-			runner: e.runner, clock: e.clock, mem: e.mem,
+			runner: c.runner, clock: c.clock, mem: c.mem,
 			best: baseV, exp: expV,
 		}
 		cycles, err := r.observe(ic)
-		e.res.TuningCycles += cycles
-		e.res.Invocations++
+		c.cycles += cycles
+		c.invocations++
 		if err != nil {
-			return Rating{}, false, fmt.Errorf("tune %s [%s]: %w", e.t.Bench.Name, m, err)
+			res.err = fmt.Errorf("tune %s [%s]: %w", e.t.Bench.Name, m, err)
+			return res
 		}
 		if r.used()%checkEvery == 0 && r.converged(e.cfg) {
-			e.res.VersionsRated++
-			return r.rating(), true, nil
+			res.rating, res.converged = r.rating(), true
+			return res
 		}
 	}
-	e.res.VersionsRated++
-	return r.rating(), false, nil
+	res.rating = r.rating()
+	return res
 }
 
-// rateWHL times one whole application run per version — the
+// rateWHL times one whole dedicated application run for the version — the
 // state-of-the-art baseline ("executing the whole program to rate one
-// version", §1). Any in-progress run is completed for the previous rater
-// first; WHL then consumes dedicated runs.
-func (e *engine) rateWHL(exp opt.FlagSet) (Rating, error) {
-	expV, err := e.version(exp)
-	if err != nil {
-		return Rating{}, err
-	}
-	e.finishRun()
+// version", §1).
+func (e *engine) rateWHL(c *ratingCtx, expV *sim.Version) (Rating, error) {
 	ds := e.t.Dataset
-	e.runner.ResetMicroarch()
-	if ds.Setup != nil {
-		ds.Setup(e.mem, e.rng)
-	}
+	c.startRun()
 	var total int64
 	var measured float64
 	for i := 0; i < ds.NumInvocations; i++ {
-		args := ds.Args(i, e.mem, e.rng)
-		_, st, err := e.runner.Run(expV, args)
+		args := ds.Args(i, c.mem, c.rng)
+		_, st, err := c.runner.Run(expV, args)
 		if err != nil {
 			return Rating{}, fmt.Errorf("tune %s [WHL]: %w", e.t.Bench.Name, err)
 		}
 		total += st.Cycles
-		measured += e.clock.Measure(st.Cycles)
-		e.res.Invocations++
+		measured += c.clock.Measure(st.Cycles)
+		c.invocations++
 	}
-	e.res.TuningCycles += total + e.t.Bench.NonTSCycles
-	e.res.ProgramRuns++
-	e.res.VersionsRated++
+	c.dsIdx = ds.NumInvocations
+	c.cycles += total + e.t.Bench.NonTSCycles
+	c.runs++
 	// Per-invocation jitter largely averages out over a whole run, which
 	// is what makes WHL "the best that can be achieved by static tuning"
 	// (§5.2) — just extremely slow.
 	return Rating{Method: MethodWHL, EVAL: measured + float64(e.t.Bench.NonTSCycles),
 		Samples: ds.NumInvocations}, nil
+}
+
+// account merges one job's ledger into the tuning result. Only the
+// reduction goroutine calls it, in ascending job order.
+func (e *engine) account(r *jobResult) {
+	e.res.TuningCycles += r.ctx.cycles
+	e.res.Invocations += r.ctx.invocations
+	e.res.ProgramRuns += r.ctx.runs
+	e.res.VersionsRated++
+	if r.ctx.runs == 0 {
+		e.sharedInv += r.ctx.invocations
+	}
+}
+
+// rateRound rates every candidate flag removal of one Iterative
+// Elimination round, sharded across the pool, and returns each
+// candidate's improvement over the round's base rating.
+//
+// The rating method can switch here: if the base rating or any candidate
+// rating fails to converge under the current method and a next applicable
+// method remains, the whole round is re-rated under that method (§3,
+// "if the system cannot achieve enough accuracy ... it switches to the
+// next applicable rating method"). Because the decision depends only on
+// the index-ordered job results — never on completion order — the switch
+// point is identical at every worker count.
+func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag) ([]float64, error) {
+	for {
+		m := e.methods[e.mi]
+
+		baseEval := math.NaN()
+		baseConverged := true
+		if m != MethodRBR {
+			// RBR rates relative improvement directly and needs no base
+			// measurement; every other method anchors improvements to the
+			// base version's absolute rating.
+			b := e.rateJob(fmt.Sprintf("round=%d/method=%s/base", round, m), m, current, current)
+			if b.err != nil {
+				return nil, b.err
+			}
+			e.account(&b)
+			baseEval = b.rating.EVAL
+			baseConverged = b.converged
+		}
+
+		results := make([]jobResult, len(candidates))
+		e.pool.Map(len(candidates), func(i int) {
+			f := candidates[i]
+			key := fmt.Sprintf("round=%d/method=%s/flag=%s", round, m, f)
+			results[i] = e.rateJob(key, m, current.Without(f), current)
+		})
+
+		allConverged := baseConverged
+		for i := range results {
+			r := &results[i]
+			if r.err != nil {
+				return nil, r.err
+			}
+			e.account(r)
+			if !r.converged {
+				allConverged = false
+			}
+		}
+
+		if !allConverged && e.mi+1 < len(e.methods) {
+			// Not converging: switch to the next applicable method and
+			// re-rate the round — the base rating's units no longer match.
+			e.mi++
+			e.switched++
+			continue
+		}
+		// Converged, or last resort: accept the ratings as they stand.
+		imps := make([]float64, len(candidates))
+		for i := range results {
+			imps[i] = results[i].rating.ImprovementOver(baseEval)
+		}
+		return imps, nil
+	}
 }
 
 // iterativeElimination searches the flag space (paper §5.2, algorithm from
@@ -323,34 +445,15 @@ func (e *engine) iterativeElimination() error {
 	current := opt.O3()
 	candidates := opt.AllFlags()
 
-	baseEval, err := e.baseEval(current)
-	if err != nil {
-		return err
-	}
-
 	for round := 0; round < maxRounds; round++ {
 		e.res.Rounds = round + 1
+		imps, err := e.rateRound(round, current, candidates)
+		if err != nil {
+			return err
+		}
 		bestIdx := -1
 		bestImp := e.cfg.ImprovementThreshold
-		for i := 0; i < len(candidates); i++ {
-			f := candidates[i]
-			miBefore := e.mi
-			r, err := e.rate(current.Without(f), current)
-			if err != nil {
-				return err
-			}
-			if e.mi != miBefore {
-				// The rating method switched mid-round; the base rating's
-				// units no longer match. Re-establish the base and re-rate
-				// this flag under the new method.
-				baseEval, err = e.baseEval(current)
-				if err != nil {
-					return err
-				}
-				i--
-				continue
-			}
-			imp := r.ImprovementOver(baseEval)
+		for i, imp := range imps {
 			if imp > bestImp {
 				bestImp, bestIdx = imp, i
 			}
@@ -362,31 +465,7 @@ func (e *engine) iterativeElimination() error {
 		current = current.Without(f)
 		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
 		e.res.Removed = append(e.res.Removed, f)
-		baseEval, err = e.baseEval(current)
-		if err != nil {
-			return err
-		}
 	}
 	e.res.Best = current
 	return nil
-}
-
-// baseEval obtains the absolute rating of the current base version, needed
-// to express other versions' ratings as improvements (RBR rates relative
-// improvement directly and needs no base measurement).
-func (e *engine) baseEval(base opt.FlagSet) (float64, error) {
-	m := e.methods[e.mi]
-	if m == MethodRBR {
-		return math.NaN(), nil
-	}
-	r, err := e.rate(base, base)
-	if err != nil {
-		return 0, err
-	}
-	// A method switch may have happened inside rate; if we are now on
-	// RBR, the base eval is unused.
-	if e.methods[e.mi] == MethodRBR {
-		return math.NaN(), nil
-	}
-	return r.EVAL, nil
 }

@@ -9,13 +9,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"peak/internal/bench"
 	"peak/internal/core"
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/profiling"
+	"peak/internal/sched"
 	"peak/internal/workloads"
 )
 
@@ -24,20 +24,43 @@ var PaperWindows = []int{10, 20, 40, 80, 160}
 
 // Table1 reproduces the consistency experiment for every benchmark on the
 // given machine: the consultant-chosen rating method's error statistics per
-// window size (§5.1).
+// window size (§5.1). It runs serially; Table1On shards it over a pool.
 func Table1(m *machine.Machine, windows []int, cfg *core.Config) ([]core.ConsistencyRow, error) {
-	var rows []core.ConsistencyRow
-	for _, b := range workloads.All() {
+	return Table1On(m, windows, cfg, nil)
+}
+
+// Table1On runs the Table-1 regenerator with each benchmark's profiling and
+// consistency measurement as one coarse job on the pool (nil means serial).
+// Each job is self-contained — its random streams are seeded from the
+// benchmark and the config, never shared — and the rows are reduced in
+// workloads.All() order, so the output is identical at any worker count.
+func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Pool) ([]core.ConsistencyRow, error) {
+	if pool == nil {
+		pool = sched.NewSerial()
+	}
+	benches := workloads.All()
+	type result struct {
+		rows []core.ConsistencyRow
+		err  error
+	}
+	results := make([]result, len(benches))
+	pool.Map(len(benches), func(i int) {
+		b := benches[i]
 		p, err := profiling.Run(b, b.Train, m)
 		if err != nil {
-			return nil, err
+			results[i] = result{err: err}
+			return
 		}
 		method := core.Consult(p, cfg).Chosen()
 		rs, err := core.Consistency(b, m, p, method, windows, cfg)
-		if err != nil {
-			return nil, err
+		results[i] = result{rows: rs, err: err}
+	})
+	var rows []core.ConsistencyRow
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		rows = append(rows, rs...)
+		rows = append(rows, r.rows...)
 	}
 	return rows, nil
 }
@@ -101,28 +124,34 @@ type Fig7Entry struct {
 // plus the WHL and AVG baselines, tuned on train and on ref, measured on
 // ref.
 func Figure7(m *machine.Machine, cfg *core.Config) ([]Fig7Entry, error) {
-	return Figure7For(workloads.Figure7Set(), m, cfg)
+	return Figure7On(workloads.Figure7Set(), m, cfg, nil)
 }
 
-// Figure7For runs the Figure-7 protocol for an arbitrary benchmark list.
-// Benchmarks run concurrently (each tuning engine is self-contained); the
-// result order follows the input order and every run is deterministic.
+// Figure7For runs the Figure-7 protocol serially for an arbitrary
+// benchmark list; Figure7On shards it over a pool.
 func Figure7For(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config) ([]Fig7Entry, error) {
+	return Figure7On(benches, m, cfg, nil)
+}
+
+// Figure7On runs the Figure-7 protocol with two grains of parallelism on
+// the pool (nil means serial): each benchmark is one coarse job, and each
+// tuning process inside it shards its candidate ratings through the same
+// pool (sched.Pool.Map nests without deadlock). Entries are reduced in
+// input order and every tuning engine derives its random streams per job,
+// so the result is identical at any worker count.
+func Figure7On(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) ([]Fig7Entry, error) {
+	if pool == nil {
+		pool = sched.NewSerial()
+	}
 	type result struct {
 		entries []Fig7Entry
 		err     error
 	}
 	results := make([]result, len(benches))
-	var wg sync.WaitGroup
-	for bi, b := range benches {
-		wg.Add(1)
-		go func(bi int, b *bench.Benchmark) {
-			defer wg.Done()
-			entries, err := figure7One(b, m, cfg)
-			results[bi] = result{entries, err}
-		}(bi, b)
-	}
-	wg.Wait()
+	pool.Map(len(benches), func(i int) {
+		entries, err := figure7One(benches[i], m, cfg, pool)
+		results[i] = result{entries, err}
+	})
 	var out []Fig7Entry
 	for _, r := range results {
 		if r.err != nil {
@@ -133,7 +162,7 @@ func Figure7For(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config
 	return out, nil
 }
 
-func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config) ([]Fig7Entry, error) {
+func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) ([]Fig7Entry, error) {
 	var out []Fig7Entry
 	{
 		pTrain, err := profiling.Run(b, b.Train, m)
@@ -157,11 +186,11 @@ func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config) ([]Fig
 			method := method
 			e := Fig7Entry{Benchmark: b.Name, Method: method, Chosen: method == chosen}
 
-			trainRes, err := tuneForced(b, b.Train, m, pTrain, method, cfg)
+			trainRes, err := tuneForced(b, b.Train, m, pTrain, method, cfg, pool)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s train: %w", b.Name, method, err)
 			}
-			refRes, err := tuneForced(b, b.Ref, m, pRef, method, cfg)
+			refRes, err := tuneForced(b, b.Ref, m, pRef, method, cfg, pool)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s ref: %w", b.Name, method, err)
 			}
@@ -220,10 +249,11 @@ func forceable(p *profiling.Profile, cfg *core.Config) []core.Method {
 }
 
 func tuneForced(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
-	p *profiling.Profile, method core.Method, cfg *core.Config) (*core.TuneResult, error) {
+	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool) (*core.TuneResult, error) {
 	forced := method
 	tu := &core.Tuner{
 		Bench: b, Mach: m, Dataset: ds, Cfg: *cfg, Profile: p, Force: &forced,
+		Pool: pool,
 	}
 	return tu.Tune()
 }

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		const n = 1000
+		hits := make([]int32, n)
+		p.Map(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+		st := p.Stats()
+		if st.JobsQueued.Load() != n || st.JobsDone.Load() != n || st.JobsRunning.Load() != 0 {
+			t.Errorf("workers=%d: stats %d/%d/%d, want %d/0/%d",
+				workers, st.JobsQueued.Load(), st.JobsRunning.Load(), st.JobsDone.Load(), n, n)
+		}
+	}
+}
+
+func TestSerialRunsInIndexOrder(t *testing.T) {
+	p := NewSerial()
+	var order []int
+	p.Map(64, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order[%d] = %d", i, got)
+		}
+	}
+}
+
+// TestNestedMapDoesNotDeadlock exercises the coarse-over-fine shape the
+// experiments use: outer jobs each fan out an inner Map on the same pool.
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers)
+		var total atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			p.Map(6, func(i int) {
+				p.Map(17, func(j int) { total.Add(1) })
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: nested Map deadlocked", workers)
+		}
+		if total.Load() != 6*17 {
+			t.Fatalf("workers=%d: inner jobs = %d, want %d", workers, total.Load(), 6*17)
+		}
+	}
+}
+
+func TestMapResultsIndependentOfWorkerCount(t *testing.T) {
+	// A toy deterministic computation: each job's output is a pure
+	// function of its derived seed. Any worker count must agree.
+	compute := func(workers int) []int64 {
+		p := New(workers)
+		out := make([]int64, 100)
+		p.Map(len(out), func(i int) {
+			s := DeriveSeed(2004, "job/"+string(rune('a'+i%26))+"/"+itoa(i))
+			out[i] = s*3 + int64(i)
+		})
+		return out
+	}
+	ref := compute(1)
+	for _, w := range []int{2, 8} {
+		got := compute(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Stable across calls.
+	if DeriveSeed(1, "a") != DeriveSeed(1, "a") {
+		t.Error("DeriveSeed not stable")
+	}
+	// Sensitive to root, key, and near-identical keys.
+	seen := map[int64]string{}
+	for _, tc := range []struct {
+		root int64
+		key  string
+	}{
+		{1, "a"}, {2, "a"}, {1, "b"}, {1, "ab"}, {1, "ba"},
+		{1, "round=1/flag=gcse"}, {1, "round=2/flag=gcse"}, {1, "round=1/flag=gcse2"},
+	} {
+		s := DeriveSeed(tc.root, tc.key)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("collision: (%d,%q) and %s -> %d", tc.root, tc.key, prev, s)
+		}
+		seen[s] = tc.key
+	}
+}
+
+func TestWorkersAndNewDefaults(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Errorf("New(0).Workers() = %d", w)
+	}
+	if _, ok := New(1).(*Serial); !ok {
+		t.Error("New(1) must be the serial pool")
+	}
+	if w := New(4).Workers(); w != 4 {
+		t.Errorf("New(4).Workers() = %d", w)
+	}
+}
+
+func TestStatsCyclesAndSummary(t *testing.T) {
+	p := New(2)
+	p.Map(10, func(i int) { p.Stats().AddCycles(100) })
+	if c := p.Stats().Cycles.Load(); c != 1000 {
+		t.Errorf("cycles = %d, want 1000", c)
+	}
+	sum := p.Stats().Summary(p.Workers())
+	for _, want := range []string{"10 jobs", "2 worker", "utilization"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestStartProgressEmitsAndStops(t *testing.T) {
+	p := New(2)
+	var buf bytes.Buffer
+	stop := StartProgress(&buf, p, 10*time.Millisecond)
+	p.Map(4, func(i int) { time.Sleep(30 * time.Millisecond) })
+	stop()
+	if !strings.Contains(buf.String(), "jobs") {
+		t.Errorf("no progress emitted: %q", buf.String())
+	}
+	n := buf.Len()
+	time.Sleep(30 * time.Millisecond)
+	if buf.Len() != n {
+		t.Error("progress kept emitting after stop")
+	}
+}

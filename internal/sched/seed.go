@@ -1,0 +1,34 @@
+package sched
+
+// DeriveSeed maps a root seed and a job key to the seed of that job's
+// private random stream — rule 1 of the package determinism contract.
+// Jobs must never share a rand.Rand; they derive their own stream here so
+// that a job's randomness depends only on *which* job it is, not on when
+// or where the scheduler ran it.
+//
+// The key names the job's position in the work DAG, e.g.
+// "SWIM/round=2/flag=gcse/rng". Appending a distinct suffix per stream
+// ("/rng", "/noise", "/clock") gives one job several independent streams.
+//
+// The mix is 64-bit FNV-1a over the key, XOR-folded with the root seed
+// and finished with a splitmix64 avalanche so that near-identical keys
+// (differing in one digit) still land far apart.
+func DeriveSeed(root int64, key string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= uint64(root)
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}

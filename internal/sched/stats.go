@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Stats holds a pool's live instrumentation: job counts, simulated cycles
+// consumed, and busy time. All fields are safe for concurrent use; read
+// them with Load while jobs run, or via Summary after the work is done.
+type Stats struct {
+	// JobsQueued counts jobs handed to Map; JobsRunning is the current
+	// in-flight gauge; JobsDone counts completed jobs.
+	JobsQueued  atomic.Int64
+	JobsRunning atomic.Int64
+	JobsDone    atomic.Int64
+	// Cycles accumulates simulated cycles that jobs report via AddCycles
+	// (the tuning-time ledger's view of how much work the pool carried).
+	Cycles atomic.Int64
+	// busyNanos accumulates wall time spent inside jobs, summed over
+	// workers — the numerator of the utilization figure.
+	busyNanos atomic.Int64
+	// startNanos is the wall clock at first use (0 until then).
+	startNanos atomic.Int64
+}
+
+// AddCycles lets a running job report simulated cycles it consumed.
+func (s *Stats) AddCycles(n int64) { s.Cycles.Add(n) }
+
+// run executes one job with full accounting.
+func (s *Stats) run(fn func(int), i int) {
+	s.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	s.JobsRunning.Add(1)
+	start := time.Now()
+	defer func() {
+		s.busyNanos.Add(time.Since(start).Nanoseconds())
+		s.JobsRunning.Add(-1)
+		s.JobsDone.Add(1)
+	}()
+	fn(i)
+}
+
+// Wall returns the wall time elapsed since the pool first ran a job.
+func (s *Stats) Wall() time.Duration {
+	start := s.startNanos.Load()
+	if start == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - start)
+}
+
+// Utilization returns busy-time ÷ (wall-time × workers): 1.0 means every
+// worker was saturated from first to last job.
+func (s *Stats) Utilization(workers int) float64 {
+	wall := s.Wall().Nanoseconds()
+	if wall <= 0 || workers <= 0 {
+		return 0
+	}
+	return float64(s.busyNanos.Load()) / float64(wall*int64(workers))
+}
+
+// Line formats the live counters as a single status line.
+func (s *Stats) Line() string {
+	return fmt.Sprintf("jobs %d queued / %d running / %d done · %.2e simulated cycles · %s wall",
+		s.JobsQueued.Load(), s.JobsRunning.Load(), s.JobsDone.Load(),
+		float64(s.Cycles.Load()), s.Wall().Round(time.Millisecond))
+}
+
+// Summary formats the final utilization report for a finished pool.
+func (s *Stats) Summary(workers int) string {
+	return fmt.Sprintf(
+		"sched: %d jobs on %d worker(s) in %s · busy %s · utilization %.0f%% · %.3e simulated cycles",
+		s.JobsDone.Load(), workers, s.Wall().Round(time.Millisecond),
+		time.Duration(s.busyNanos.Load()).Round(time.Millisecond),
+		100*s.Utilization(workers), float64(s.Cycles.Load()))
+}
+
+// StartProgress emits the pool's status line to w every interval until
+// the returned stop function is called (exactly once). The cmd/ binaries
+// wire this to -progress.
+func StartProgress(w io.Writer, p Pool, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "sched: %s\n", p.Stats().Line())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

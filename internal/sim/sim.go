@@ -67,6 +67,19 @@ type Version struct {
 	blockIndex []int // block ID -> slice index (built lazily)
 }
 
+// Freeze eagerly builds the lazily-constructed block index of v and of
+// every callee, transitively. A frozen version is immutable and may be
+// executed by concurrent Runners; an unfrozen one must stay confined to a
+// single goroutine because the first execution builds the index in place.
+// The tuning engine freezes each version once, under its compile lock,
+// before publishing it to parallel rating jobs.
+func (v *Version) Freeze() {
+	v.index()
+	for _, c := range v.Callees {
+		c.Freeze()
+	}
+}
+
 func (v *Version) index() []int {
 	if v.blockIndex == nil {
 		maxID := 0

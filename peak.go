@@ -41,6 +41,7 @@ import (
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/profiling"
+	"peak/internal/sched"
 	"peak/internal/workloads"
 )
 
@@ -84,6 +85,10 @@ type (
 	SectionStat = core.SectionStat
 	// SelectorConfig tunes the TS Selector.
 	SelectorConfig = core.SelectorConfig
+	// Pool shards independent tuning work across workers while keeping
+	// results bit-identical to a serial run (see ARCHITECTURE.md for the
+	// determinism contract).
+	Pool = sched.Pool
 )
 
 // Rating methods.
@@ -137,10 +142,22 @@ func ProfileBenchmark(b *Benchmark, m *Machine) (*Profile, error) {
 // Consult runs the Rating Approach Consultant on a profile.
 func Consult(p *Profile, cfg *Config) *Applicability { return core.Consult(p, cfg) }
 
+// NewPool returns a worker pool with the given size. workers <= 0 uses
+// GOMAXPROCS; workers == 1 is the serial pool. Pass the pool to the On
+// variants (TuneBenchmarkOn, Table1On, Figure7On) — any size produces
+// bit-identical results, so workers=1 is a drop-in check of the others.
+func NewPool(workers int) Pool { return sched.New(workers) }
+
 // TuneBenchmark profiles b on m, lets the consultant pick the rating
 // method, and runs the full PEAK tuning process on the training dataset.
 // cfg may be nil for the default configuration.
 func TuneBenchmark(b *Benchmark, m *Machine, cfg *Config) (*TuneResult, error) {
+	return TuneBenchmarkOn(b, m, cfg, nil)
+}
+
+// TuneBenchmarkOn is TuneBenchmark with the candidate ratings of every
+// Iterative Elimination round sharded across pool (nil means serial).
+func TuneBenchmarkOn(b *Benchmark, m *Machine, cfg *Config, pool Pool) (*TuneResult, error) {
 	c := DefaultConfig()
 	if cfg != nil {
 		c = *cfg
@@ -149,12 +166,17 @@ func TuneBenchmark(b *Benchmark, m *Machine, cfg *Config) (*TuneResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p, Pool: pool}
 	return t.Tune()
 }
 
 // TuneWithMethod forces a specific rating method (the Figure-7 protocol).
 func TuneWithMethod(b *Benchmark, m *Machine, method Method, ds *Dataset, cfg *Config) (*TuneResult, error) {
+	return TuneWithMethodOn(b, m, method, ds, cfg, nil)
+}
+
+// TuneWithMethodOn is TuneWithMethod sharded across pool (nil = serial).
+func TuneWithMethodOn(b *Benchmark, m *Machine, method Method, ds *Dataset, cfg *Config, pool Pool) (*TuneResult, error) {
 	c := DefaultConfig()
 	if cfg != nil {
 		c = *cfg
@@ -166,7 +188,7 @@ func TuneWithMethod(b *Benchmark, m *Machine, method Method, ds *Dataset, cfg *C
 	if err != nil {
 		return nil, err
 	}
-	t := &core.Tuner{Bench: b, Mach: m, Dataset: ds, Cfg: c, Profile: p, Force: &method}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: ds, Cfg: c, Profile: p, Force: &method, Pool: pool}
 	return t.Tune()
 }
 
@@ -202,20 +224,32 @@ func Improvement(base, tuned int64) float64 { return core.Improvement(base, tune
 
 // Table1 regenerates the paper's Table-1 consistency experiment on m.
 func Table1(m *Machine, cfg *Config) ([]ConsistencyRow, error) {
+	return Table1On(m, cfg, nil)
+}
+
+// Table1On is Table1 with each benchmark's consistency measurement run as
+// one coarse job on pool (nil means serial).
+func Table1On(m *Machine, cfg *Config, pool Pool) ([]ConsistencyRow, error) {
 	c := DefaultConfig()
 	if cfg != nil {
 		c = *cfg
 	}
-	return experiments.Table1(m, experiments.PaperWindows, &c)
+	return experiments.Table1On(m, experiments.PaperWindows, &c, pool)
 }
 
 // Figure7 regenerates the paper's Figure-7 experiment on m.
 func Figure7(m *Machine, cfg *Config) ([]Fig7Entry, error) {
+	return Figure7On(m, cfg, nil)
+}
+
+// Figure7On is Figure7 sharded over pool (nil means serial): benchmarks at
+// coarse grain, each tuning process's candidate ratings at fine grain.
+func Figure7On(m *Machine, cfg *Config, pool Pool) ([]Fig7Entry, error) {
 	c := DefaultConfig()
 	if cfg != nil {
 		c = *cfg
 	}
-	return experiments.Figure7(m, &c)
+	return experiments.Figure7On(workloads.Figure7Set(), m, &c, pool)
 }
 
 // Validate sanity-checks a benchmark definition (useful when constructing

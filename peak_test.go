@@ -1,6 +1,7 @@
 package peak
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -87,5 +88,36 @@ func TestFacadePipeline(t *testing.T) {
 	}
 	if !strings.Contains(res.Best.String(), "-f") && res.Best != O3() {
 		t.Errorf("odd flag rendering: %s", res.Best)
+	}
+}
+
+// TestPoolDeterminism is the parallel-tuning acceptance test: a full tune
+// of one floating-point and one integer workload must produce a TuneResult
+// that is identical — Best flags, TuningCycles, Invocations and all other
+// ledger fields — whether the candidate ratings run on one worker or
+// eight. This is the bit-identity contract of internal/sched
+// (per-job derived seeds + index-ordered reduction); see ARCHITECTURE.md.
+func TestPoolDeterminism(t *testing.T) {
+	for _, name := range []string{"SWIM", "MCF"} {
+		b, ok := BenchmarkByName(name)
+		if !ok {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		m := PentiumIV()
+		serial, err := TuneBenchmarkOn(b, m, nil, NewPool(1))
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", name, err)
+		}
+		parallel, err := TuneBenchmarkOn(b, m, nil, NewPool(8))
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: workers=8 diverged from workers=1:\n  serial:   %+v\n  parallel: %+v",
+				name, serial, parallel)
+		}
+		if serial.Invocations == 0 || serial.TuningCycles == 0 {
+			t.Errorf("%s: empty ledger %+v", name, serial)
+		}
 	}
 }
