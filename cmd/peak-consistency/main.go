@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	peak-consistency [-machine sparc2] [-workers 8] [-progress]
+//	peak-consistency [-machine sparc2] [-noise spikes] [-workers 8] [-progress]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 func main() {
 	machName := flag.String("machine", "sparc2", `machine: "sparc2" or "p4"`)
+	noiseName := flag.String("noise", "", "noise regime (baseline, gauss4x, spikes, drift, bursts); empty = machine default")
 	workers := flag.Int("workers", 1, "parallel workers (0 = GOMAXPROCS); any value gives identical output")
 	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 	flag.Parse()
@@ -30,12 +31,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "peak-consistency: unknown machine %q\n", *machName)
 		os.Exit(1)
 	}
+	cfg := peak.DefaultConfig()
+	if *noiseName != "" {
+		regime, ok := peak.NoiseRegimeByName(m, *noiseName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "peak-consistency: unknown noise regime %q\n", *noiseName)
+			os.Exit(1)
+		}
+		cfg.Noise = &regime.Model
+	}
 	pool := peak.NewPool(*workers)
 	stopProgress := func() {}
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
-	rows, err := peak.Table1On(m, nil, pool)
+	rows, err := peak.Table1On(m, &cfg, pool)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)
 		os.Exit(1)

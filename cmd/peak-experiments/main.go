@@ -3,12 +3,17 @@
 // whole-program WHL baseline (panels c, d), for SWIM, MGRID, ART and EQUAKE
 // under every forceable rating method plus the WHL and AVG baselines.
 //
+// With -noise it instead regenerates the noise-sensitivity report
+// (results_noise.txt): rating consistency and winner-picking reliability
+// under the baseline, gauss4x, spikes, drift and bursts noise regimes.
+//
 // Usage:
 //
 //	peak-experiments                  # both machines (fig 7 a–d)
 //	peak-experiments -machine p4      # one machine
 //	peak-experiments -workers 8       # sharded; output identical to -workers 1
 //	peak-experiments -headline        # the abstract's summary numbers
+//	peak-experiments -noise           # rating error vs noise regime
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers (0 = GOMAXPROCS); any value gives identical output")
 	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 	headline := flag.Bool("headline", false, "also print the paper-abstract summary numbers")
+	noiseRep := flag.Bool("noise", false, "regenerate the noise-sensitivity report instead of Figure 7")
 	flag.Parse()
 
 	var machines []*peak.Machine
@@ -46,6 +52,25 @@ func main() {
 	stopProgress := func() {}
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
+	}
+
+	if *noiseRep {
+		for i, m := range machines {
+			report, err := peak.NoiseReport(m, nil, pool)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(report)
+		}
+		stopProgress()
+		if *progress {
+			fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+		}
+		return
 	}
 
 	var all []peak.Fig7Entry

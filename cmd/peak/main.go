@@ -5,6 +5,7 @@
 // Usage:
 //
 //	peak -bench ART -machine p4 [-method RBR] [-dataset train] [-workers 8] [-v]
+//	peak -bench SWIM -noise spikes    # tune under a stress noise regime
 //	peak -list
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		machName  = flag.String("machine", "p4", `machine: "sparc2" or "p4"`)
 		method    = flag.String("method", "", "force rating method (CBR, MBR, RBR, AVG, WHL); empty = consultant choice")
 		dataset   = flag.String("dataset", "train", `tuning dataset: "train" or "ref"`)
+		noiseName = flag.String("noise", "", "noise regime (baseline, gauss4x, spikes, drift, bursts); empty = machine default")
 		workers   = flag.Int("workers", 1, "parallel rating workers (0 = GOMAXPROCS); any value gives identical results")
 		progress  = flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
@@ -63,6 +65,13 @@ func main() {
 	}
 
 	cfg := peak.DefaultConfig()
+	if *noiseName != "" {
+		regime, ok := peak.NoiseRegimeByName(m, *noiseName)
+		if !ok {
+			fatalf("unknown noise regime %q", *noiseName)
+		}
+		cfg.Noise = &regime.Model
+	}
 	prof, err := peak.ProfileBenchmark(b, m)
 	if err != nil {
 		fatalf("profile: %v", err)

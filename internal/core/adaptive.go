@@ -92,7 +92,7 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 		ds.Setup(mem, rng)
 	}
 	runner := sim.NewRunner(a.Mach, mem, a.Cfg.Seed^a.Bench.Seed(67))
-	clock := sim.NewClock(a.Mach, a.Cfg.Seed^a.Bench.Seed(71))
+	clock := sim.NewClockWith(NoiseModelFor(&a.Cfg, a.Mach), a.Cfg.Seed^a.Bench.Seed(71))
 
 	res := &AdaptiveResult{Winners: map[string]opt.FlagSet{}}
 	states := map[string]*ctxState{}
@@ -180,7 +180,7 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 }
 
 func robustMean(xs []float64, k float64) float64 {
-	kept, _ := stats.RejectOutliers(xs, k)
+	kept, _, _ := stats.RejectOutliers(xs, k)
 	return stats.Mean(kept)
 }
 

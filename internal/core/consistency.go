@@ -74,7 +74,7 @@ func Consistency(b *bench.Benchmark, m *machine.Machine, p *profiling.Profile,
 		ds.Setup(mem, rng)
 	}
 	runner := sim.NewRunner(m, mem, cfg.Seed^b.Seed(43))
-	clock := sim.NewClock(m, cfg.Seed^b.Seed(47))
+	clock := sim.NewClockWith(NoiseModelFor(cfg, m), cfg.Seed^b.Seed(47))
 
 	// Collect the per-invocation stream once; windows are formed offline.
 	type raw struct {
@@ -246,7 +246,7 @@ func Consistency(b *bench.Benchmark, m *machine.Machine, p *profiling.Profile,
 func windowMeans(vals []float64, w int, cfg *Config) []float64 {
 	var out []float64
 	for start := 0; start+w <= len(vals); start += w {
-		kept, _ := stats.RejectOutliers(vals[start:start+w], cfg.OutlierK)
+		kept, _, _ := stats.RejectOutliers(vals[start:start+w], cfg.OutlierK)
 		out = append(out, stats.Mean(kept))
 	}
 	return out

@@ -15,6 +15,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/stats"
 )
 
 // Tuner drives the PEAK offline tuning of one benchmark's tuning section on
@@ -63,6 +64,12 @@ type TuneResult struct {
 	VersionsRated int
 	Rounds        int
 	Removed       []opt.Flag
+	// Escalations counts candidate ratings whose confidence interval
+	// stayed wide past the escalation budget and were therefore re-rated
+	// with RBR for the round; EscalatedFlags lists the flags concerned, in
+	// rating order (re-rated rounds included — the time was spent).
+	Escalations    int
+	EscalatedFlags []opt.Flag
 }
 
 // engine is the running state of one tuning process. Cross-job state is
@@ -202,7 +209,8 @@ func (e *engine) newRatingCtx(jobKey string) *ratingCtx {
 		e:      e,
 		mem:    mem,
 		runner: sim.NewRunner(e.t.Mach, mem, sched.DeriveSeed(e.rootSeed, jobKey+"/runner")),
-		clock:  sim.NewClock(e.t.Mach, sched.DeriveSeed(e.rootSeed, jobKey+"/clock")),
+		clock: sim.NewClockWith(NoiseModelFor(e.cfg, e.t.Mach),
+			sched.DeriveSeed(e.rootSeed, jobKey+"/clock")),
 		rng:    rand.New(rand.NewSource(sched.DeriveSeed(e.rootSeed, jobKey+"/data"))),
 	}
 }
@@ -270,6 +278,7 @@ func (e *engine) newRater(m Method, mem *sim.Memory) rater {
 type jobResult struct {
 	rating    Rating
 	converged bool
+	escalated bool
 	ctx       *ratingCtx
 	err       error
 }
@@ -279,9 +288,13 @@ var errMethodExhausted = fmt.Errorf("core: all rating methods failed to converge
 
 // rateJob rates the experimental flag set against the base flag set with
 // method m in a fresh per-job context named by jobKey. It performs no
-// method switching — non-convergence is reported to the round reduction,
-// which owns that decision (§3's runtime switching, made deterministic).
-func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet) jobResult {
+// round-level method switching — non-convergence is reported to the round
+// reduction, which owns that decision (§3's runtime switching, made
+// deterministic). What it may do, when escalatable, is degrade a single
+// still-wide CBR or AVG rating to RBR once the escalation budget is spent:
+// RBR is always applicable, so the job salvages a usable rating for this
+// flag without forcing the whole round onto another method.
+func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalatable bool) jobResult {
 	c := e.newRatingCtx(jobKey)
 	res := jobResult{ctx: c}
 	defer func() { e.pool.Stats().AddCycles(c.cycles) }()
@@ -302,13 +315,17 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet) jobResu
 		return res
 	}
 
+	budget := 0
+	if escalatable && (m == MethodCBR || m == MethodAVG) {
+		budget = e.cfg.escalationBudget()
+	}
 	r := e.newRater(m, c.mem)
 	needKey := m == MethodCBR
 	checkEvery := e.cfg.Window / 8
 	if checkEvery < 1 {
 		checkEvery = 1
 	}
-	for r.used() < e.cfg.MaxInvPerVersion {
+	for used := 0; used < e.cfg.MaxInvPerVersion; {
 		args, key := c.nextInvocation(needKey)
 		ic := &invocation{
 			args: args, key: key,
@@ -318,13 +335,19 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet) jobResu
 		cycles, err := r.observe(ic)
 		c.cycles += cycles
 		c.invocations++
+		used++
 		if err != nil {
 			res.err = fmt.Errorf("tune %s [%s]: %w", e.t.Bench.Name, m, err)
 			return res
 		}
-		if r.used()%checkEvery == 0 && r.converged(e.cfg) {
+		if used%checkEvery == 0 && r.converged(e.cfg) {
 			res.rating, res.converged = r.rating(), true
 			return res
+		}
+		if budget > 0 && !res.escalated && r.used() >= budget {
+			r = e.newRater(MethodRBR, c.mem)
+			needKey = false
+			res.escalated = true
 		}
 	}
 	res.rating = r.rating()
@@ -386,26 +409,29 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 	for {
 		m := e.methods[e.mi]
 
+		var baseRating Rating
 		baseEval := math.NaN()
 		baseConverged := true
 		if m != MethodRBR {
 			// RBR rates relative improvement directly and needs no base
 			// measurement; every other method anchors improvements to the
 			// base version's absolute rating.
-			b := e.rateJob(fmt.Sprintf("round=%d/method=%s/base", round, m), m, current, current)
+			b := e.rateJob(fmt.Sprintf("round=%d/method=%s/base", round, m), m, current, current, false)
 			if b.err != nil {
 				return nil, b.err
 			}
 			e.account(&b)
+			baseRating = b.rating
 			baseEval = b.rating.EVAL
 			baseConverged = b.converged
 		}
 
+		escalatable := e.t.Force == nil
 		results := make([]jobResult, len(candidates))
 		e.pool.Map(len(candidates), func(i int) {
 			f := candidates[i]
 			key := fmt.Sprintf("round=%d/method=%s/flag=%s", round, m, f)
-			results[i] = e.rateJob(key, m, current.Without(f), current)
+			results[i] = e.rateJob(key, m, current.Without(f), current, escalatable)
 		})
 
 		allConverged := baseConverged
@@ -415,6 +441,10 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				return nil, r.err
 			}
 			e.account(r)
+			if r.escalated {
+				e.res.Escalations++
+				e.res.EscalatedFlags = append(e.res.EscalatedFlags, candidates[i])
+			}
 			if !r.converged {
 				allConverged = false
 			}
@@ -428,9 +458,34 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 			continue
 		}
 		// Converged, or last resort: accept the ratings as they stand.
+		// Under ConvergeCI a candidate's improvement additionally has to be
+		// statistically significant: a CBR rating must differ from the base
+		// rating by Welch's t-test, and an RBR rating's confidence interval
+		// must exclude 1 (no change). Insignificant improvements are zeroed
+		// so Iterative Elimination never keeps a flag removal on what is
+		// plausibly just noise. AVG is deliberately left ungated — it is the
+		// paper's naive baseline — and MBR's VAR is a regression residual
+		// ratio, not a sample variance, so no interval exists for it.
+		gate := e.cfg.Convergence == ConvergeCI
+		conf := e.cfg.confidence()
 		imps := make([]float64, len(candidates))
 		for i := range results {
-			imps[i] = results[i].rating.ImprovementOver(baseEval)
+			rt := results[i].rating
+			imp := rt.ImprovementOver(baseEval)
+			if gate && imp != 0 {
+				switch rt.Method {
+				case MethodCBR:
+					if !stats.WelchSignificant(baseRating.EVAL, baseRating.VAR, baseRating.Samples,
+						rt.EVAL, rt.VAR, rt.Samples, conf) {
+						imp = 0
+					}
+				case MethodRBR:
+					if math.Abs(rt.EVAL-1) < rt.CIHalf {
+						imp = 0
+					}
+				}
+			}
+			imps[i] = imp
 		}
 		return imps, nil
 	}

@@ -6,7 +6,13 @@
 // Elimination search over compiler optimization flags using those ratings.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"peak/internal/machine"
+	"peak/internal/noise"
+	"peak/internal/sim"
+)
 
 // Method identifies a rating method.
 type Method int
@@ -62,6 +68,14 @@ type Rating struct {
 	// number rejected.
 	Samples  int
 	Outliers int
+	// CIHalf is the half-width of the Student-t confidence interval around
+	// EVAL at the config's confidence level (+Inf below 2 samples; 0 for
+	// MBR/WHL, whose VAR is not a sample variance).
+	CIHalf float64
+	// Abandoned reports that outlier rejection gave up on this window (it
+	// would have discarded nearly every sample), so EVAL/VAR come from the
+	// raw, contaminated window.
+	Abandoned bool
 }
 
 // Better reports whether rating a beats rating b, assuming both rate
@@ -86,6 +100,23 @@ func (a Rating) ImprovementOver(baseEval float64) float64 {
 	}
 	return baseEval/a.EVAL - 1
 }
+
+// ConvergenceMode selects how the windowed raters (CBR, AVG, RBR) decide
+// that a rating is consistent enough.
+type ConvergenceMode int
+
+const (
+	// ConvergeCI (the default) declares convergence when the Student-t
+	// confidence interval around the window mean, at the config's
+	// Confidence level, has relative half-width below CIRelThreshold.
+	// Paired with significance gating in the engine (Welch's t-test for
+	// CBR, CI-contains-1 for RBR), it follows the statistically rigorous
+	// speedup methodology of Touati et al. rather than raw mean comparison.
+	ConvergeCI ConvergenceMode = iota
+	// ConvergeStdErr is the legacy criterion: relative standard error of
+	// the window mean below VarThreshold, winners picked by raw means.
+	ConvergeStdErr
+)
 
 // Config holds the tuning-time parameters of the rating process (§3).
 type Config struct {
@@ -136,6 +167,60 @@ type Config struct {
 	ImprovementThreshold float64
 	// Seed drives measurement noise.
 	Seed int64
+	// Convergence selects the convergence criterion; the zero value is
+	// ConvergeCI.
+	Convergence ConvergenceMode
+	// Confidence is the two-sided confidence level for intervals and Welch
+	// tests under ConvergeCI (0 means 0.95).
+	Confidence float64
+	// CIRelThreshold is the ConvergeCI bound on CI half-width relative to
+	// the window mean (0 means 0.01).
+	CIRelThreshold float64
+	// EscalationBudget is the number of invocations after which a still
+	// wide CBR or AVG candidate rating escalates to RBR for the round
+	// (graceful degradation before the round-level method switch). 0 means
+	// MaxInvPerVersion/3; negative disables escalation.
+	EscalationBudget int
+	// Noise overrides the machine's default measurement-noise model (see
+	// NoiseModelFor); nil keeps the machine default.
+	Noise *noise.Model
+}
+
+// confidence returns the effective confidence level.
+func (c *Config) confidence() float64 {
+	if c.Confidence == 0 {
+		return 0.95
+	}
+	return c.Confidence
+}
+
+// ciRelThreshold returns the effective ConvergeCI threshold.
+func (c *Config) ciRelThreshold() float64 {
+	if c.CIRelThreshold == 0 {
+		return 0.01
+	}
+	return c.CIRelThreshold
+}
+
+// escalationBudget returns the effective escalation budget (0 = disabled).
+func (c *Config) escalationBudget() int {
+	if c.EscalationBudget < 0 {
+		return 0
+	}
+	if c.EscalationBudget == 0 {
+		return c.MaxInvPerVersion / 3
+	}
+	return c.EscalationBudget
+}
+
+// NoiseModelFor returns the measurement-noise model rating runs under on
+// machine m: cfg.Noise when set, otherwise the machine's default
+// jitter-plus-spikes model (sim.DefaultNoise).
+func NoiseModelFor(cfg *Config, m *machine.Machine) noise.Model {
+	if cfg.Noise != nil {
+		return *cfg.Noise
+	}
+	return sim.DefaultNoise(m)
 }
 
 // DefaultConfig mirrors the paper's operating point (window sizes of tens
@@ -154,5 +239,8 @@ func DefaultConfig() Config {
 		MBRMaxProfileVar:         0.05,
 		ImprovementThreshold:     0.01,
 		Seed:                     2004,
+		Convergence:              ConvergeCI,
+		Confidence:               0.95,
+		CIRelThreshold:           0.01,
 	}
 }

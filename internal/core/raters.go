@@ -39,22 +39,49 @@ type rater interface {
 }
 
 // meanSamples implements the windowed mean/variance rating shared by AVG,
-// CBR and RBR, with outlier elimination.
+// CBR and RBR, with outlier elimination. The outlier filter is O(n log n),
+// and both rating() and the periodic convergence checks need its output, so
+// the filtered window is cached and recomputed only when new samples have
+// arrived since the last filter run (see BenchmarkMeanSamplesConvergence).
 type meanSamples struct {
 	samples []float64
 	seen    int
+
+	fN         int // sample count the cache below was computed from
+	fKept      []float64
+	fRejected  int
+	fAbandoned bool
+	fMean      float64
+	fVar       float64
+	fCIHalf    float64
 }
 
 func (s *meanSamples) add(x float64) { s.samples = append(s.samples, x) }
 
+// filter brings the cached outlier-rejected view of the window up to date.
+func (s *meanSamples) filter(cfg *Config) {
+	if s.fN == len(s.samples) && s.fN > 0 {
+		return
+	}
+	s.fKept, s.fRejected, s.fAbandoned = stats.RejectOutliers(s.samples, cfg.OutlierK)
+	s.fMean = stats.Mean(s.fKept)
+	s.fVar = stats.Variance(s.fKept)
+	// The Student-t critical value behind the half-width costs far more
+	// than the filter itself, so it is part of the cached state.
+	s.fCIHalf = stats.MeanCIHalf(s.fVar, len(s.fKept), cfg.confidence())
+	s.fN = len(s.samples)
+}
+
 func (s *meanSamples) evalVar(cfg *Config, m Method) Rating {
-	kept, rejected := stats.RejectOutliers(s.samples, cfg.OutlierK)
+	s.filter(cfg)
 	return Rating{
-		Method:   m,
-		EVAL:     stats.Mean(kept),
-		VAR:      stats.Variance(kept),
-		Samples:  len(kept),
-		Outliers: rejected,
+		Method:    m,
+		EVAL:      s.fMean,
+		VAR:       s.fVar,
+		Samples:   len(s.fKept),
+		Outliers:  s.fRejected,
+		CIHalf:    s.fCIHalf,
+		Abandoned: s.fAbandoned,
 	}
 }
 
@@ -62,13 +89,16 @@ func (s *meanSamples) meanConverged(cfg *Config) bool {
 	if len(s.samples) < cfg.Window {
 		return false
 	}
-	kept, _ := stats.RejectOutliers(s.samples, cfg.OutlierK)
-	m := stats.Mean(kept)
-	if m == 0 || len(kept) < 2 {
+	s.filter(cfg)
+	n := len(s.fKept)
+	if s.fMean == 0 || n < 2 {
 		return false
 	}
-	stderr := math.Sqrt(stats.Variance(kept)/float64(len(kept))) / math.Abs(m)
-	return stderr < cfg.VarThreshold
+	if cfg.Convergence == ConvergeStdErr {
+		stderr := math.Sqrt(s.fVar/float64(n)) / math.Abs(s.fMean)
+		return stderr < cfg.VarThreshold
+	}
+	return s.fCIHalf/math.Abs(s.fMean) < cfg.ciRelThreshold()
 }
 
 // --- AVG --------------------------------------------------------------------

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"peak/internal/noise"
+	"peak/internal/sched"
+	"peak/internal/sim"
+	"peak/internal/stats"
+)
+
+// This file isolates the winner-picking core of one Iterative Elimination
+// comparison — rate a base and an experimental version under noise, decide
+// whether to adopt the experimental one — so the two convergence regimes
+// (ConvergeStdErr's raw-mean comparison vs ConvergeCI's significance-gated
+// comparison) can be pitted against each other on identical measurement
+// streams. The noise-sensitivity experiment and the acceptance test both
+// build on it.
+
+// WinnerTrial rates a base version (true cost baseCycles) against an
+// experimental version (true cost expCycles) under the given noise model,
+// mirroring the engine's candidate-rating loop: sample both versions until
+// the window converges under cfg's convergence criterion (or
+// MaxInvPerVersion is hit), then adopt the experimental version when its
+// improvement over the base clears cfg.ImprovementThreshold — under
+// ConvergeCI only if the difference is also Welch-significant at the
+// config's confidence level.
+//
+// The two measurement streams derive from seed alone, so trials under
+// different convergence modes see identical perturbation sequences sample
+// for sample ("the same seeds"): any difference in outcome is purely the
+// decision rule's.
+func WinnerTrial(cfg *Config, model noise.Model, seed int64, baseCycles, expCycles int64) (expWins bool, invocations int) {
+	baseClock := sim.NewClockWith(model, sched.DeriveSeed(seed, "base"))
+	expClock := sim.NewClockWith(model, sched.DeriveSeed(seed, "exp"))
+	var bs, es meanSamples
+
+	checkEvery := cfg.Window / 8
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	n := 0
+	for n < cfg.MaxInvPerVersion {
+		bs.add(baseClock.Measure(baseCycles))
+		es.add(expClock.Measure(expCycles))
+		n++
+		if n%checkEvery == 0 && bs.meanConverged(cfg) && es.meanConverged(cfg) {
+			break
+		}
+	}
+
+	base := bs.evalVar(cfg, MethodCBR)
+	exp := es.evalVar(cfg, MethodCBR)
+	imp := exp.ImprovementOver(base.EVAL)
+	if cfg.Convergence == ConvergeCI &&
+		!stats.WelchSignificant(base.EVAL, base.VAR, base.Samples,
+			exp.EVAL, exp.VAR, exp.Samples, cfg.confidence()) {
+		imp = 0
+	}
+	return imp > cfg.ImprovementThreshold, 2 * n
+}
+
+// WinnerTrialStats aggregates repeated WinnerTrial runs over paired
+// truly-worse and truly-better experimental versions.
+type WinnerTrialStats struct {
+	// Trials is the number of (worse, better) trial pairs run.
+	Trials int
+	// WrongAdopts counts trials that adopted a truly worse experimental
+	// version — the rating error that costs real performance.
+	WrongAdopts int
+	// Misses counts trials that declined a truly better experimental
+	// version — the conservative error, costing only a lost improvement.
+	Misses int
+	// Invocations is the total TS invocations all trials consumed.
+	Invocations int
+}
+
+// RunWinnerTrials runs `trials` paired winner trials under the model: in
+// each pair the experimental version is once truly worse and once truly
+// better than the base by the relative margin (e.g. 0.002 = 0.2%). Per-pair
+// seeds derive from seed, so repeated calls — in particular, calls that
+// differ only in cfg.Convergence — replay identical measurement streams.
+func RunWinnerTrials(cfg *Config, model noise.Model, seed int64, trials int, baseCycles int64, margin float64) WinnerTrialStats {
+	st := WinnerTrialStats{Trials: trials}
+	for i := 0; i < trials; i++ {
+		worse := int64(float64(baseCycles) * (1 + margin))
+		better := int64(float64(baseCycles) * (1 - margin))
+
+		win, inv := WinnerTrial(cfg, model, sched.DeriveSeed(seed, fmt.Sprintf("worse/trial=%d", i)),
+			baseCycles, worse)
+		st.Invocations += inv
+		if win {
+			st.WrongAdopts++
+		}
+
+		win, inv = WinnerTrial(cfg, model, sched.DeriveSeed(seed, fmt.Sprintf("better/trial=%d", i)),
+			baseCycles, better)
+		st.Invocations += inv
+		if !win {
+			st.Misses++
+		}
+	}
+	return st
+}

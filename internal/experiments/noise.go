@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/machine"
+	"peak/internal/noise"
+	"peak/internal/profiling"
+	"peak/internal/sched"
+	"peak/internal/sim"
+	"peak/internal/workloads"
+)
+
+// This file adds the noise-sensitivity experiment: how do the rating
+// methods' Table-1 error statistics — and the winner-picking reliability of
+// Iterative Elimination's core comparison — degrade when the measurement
+// noise departs from the machine's default jitter-plus-spikes model? The
+// paper attributes its outliers to "system perturbations, such as
+// interrupts" (§3); the regimes below stress that assumption with heavier
+// tails, slow thermal-style drift and correlated bursts.
+
+// NoiseRegime pairs a stable label with a noise model.
+type NoiseRegime struct {
+	Name  string
+	Model noise.Model
+}
+
+// NoiseWindow is the fixed rating-window size the noise report uses.
+const NoiseWindow = 40
+
+// noiseTrialCount and noiseTrialMargin parameterize the winner-picking
+// section: paired trials where the experimental version is truly worse /
+// better than the base by the margin.
+const (
+	noiseTrialCount  = 40
+	noiseTrialMargin = 0.002
+	noiseTrialCycles = 1_000_000
+)
+
+// RegimesFor returns the noise regimes the report sweeps on machine m: the
+// machine's calibrated default, then four stress regimes derived from it.
+func RegimesFor(m *machine.Machine) []NoiseRegime {
+	d := sim.DefaultNoise(m)
+	return []NoiseRegime{
+		{Name: "baseline", Model: d},
+		{Name: "gauss4x", Model: noise.Gaussian(4 * d.Jitter)},
+		{Name: "spikes", Model: noise.HeavySpikes(d.Jitter, 0.05, 4)},
+		{Name: "drift", Model: noise.ThermalDrift(d.Jitter, 0.04, 400)},
+		{Name: "bursts", Model: noise.Bursts(d.Jitter, 0.02, 12, 0.08)},
+	}
+}
+
+// RegimeByName resolves a regime label for machine m.
+func RegimeByName(m *machine.Machine, name string) (NoiseRegime, bool) {
+	for _, r := range RegimesFor(m) {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return NoiseRegime{}, false
+}
+
+// RegimeNames lists the regime labels in report order.
+func RegimeNames(m *machine.Machine) []string {
+	regimes := RegimesFor(m)
+	names := make([]string, len(regimes))
+	for i, r := range regimes {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// NoiseReport runs the noise-sensitivity experiment serially on machine m.
+func NoiseReport(m *machine.Machine, cfg *core.Config) (string, error) {
+	return NoiseReportOn(m, cfg, nil)
+}
+
+// NoiseReportOn regenerates the noise-sensitivity report for machine m,
+// sharding the (benchmark × regime) consistency grid over pool (nil means
+// serial). Each cell is one self-contained job — its profile and
+// measurement streams are seeded from the benchmark and the config alone —
+// and cells are reduced in (benchmark, regime) order, so the report is
+// byte-identical at any worker count.
+func NoiseReportOn(m *machine.Machine, cfg *core.Config, pool sched.Pool) (string, error) {
+	return noiseReportFor(workloads.All(), m, cfg, pool)
+}
+
+// noiseReportFor is NoiseReportOn over an explicit benchmark list.
+func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) (string, error) {
+	if pool == nil {
+		pool = sched.NewSerial()
+	}
+	regimes := RegimesFor(m)
+
+	type cell struct {
+		method core.Method
+		stat   core.WindowStat
+		err    error
+	}
+	cells := make([]cell, len(benches)*len(regimes))
+	pool.Map(len(cells), func(i int) {
+		b := benches[i/len(regimes)]
+		regime := regimes[i%len(regimes)]
+		p, err := profiling.Run(b, b.Train, m)
+		if err != nil {
+			cells[i] = cell{err: err}
+			return
+		}
+		c := *cfg
+		c.Noise = &regime.Model
+		method := core.Consult(p, &c).Chosen()
+		rows, err := core.Consistency(b, m, p, method, []int{NoiseWindow}, &c)
+		if err != nil {
+			cells[i] = cell{err: err}
+			return
+		}
+		// The dominant-context row carries the headline statistic.
+		cells[i] = cell{method: method, stat: rows[0].Windows[NoiseWindow]}
+	})
+	for i := range cells {
+		if cells[i].err != nil {
+			return "", cells[i].err
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Rating consistency under noise on %s (w=%d, Mean(StdDev) of rating error x100,\nconsultant-chosen method, dominant context):\n",
+		m.Name, NoiseWindow)
+	fmt.Fprintf(&sb, "%-9s %-8s", "Benchmark", "Approach")
+	for _, r := range regimes {
+		fmt.Fprintf(&sb, " %14s", r.Name)
+	}
+	sb.WriteByte('\n')
+	for bi, b := range benches {
+		fmt.Fprintf(&sb, "%-9s %-8s", b.Name, cells[bi*len(regimes)].method)
+		for ri := range regimes {
+			ws := cells[bi*len(regimes)+ri].stat
+			fmt.Fprintf(&sb, " %14s", fmt.Sprintf("%.2f(%.2f)", ws.Mu*100, ws.Sigma*100))
+		}
+		sb.WriteByte('\n')
+	}
+
+	// Winner-picking reliability: the CI-gated decision rule against the
+	// legacy raw-mean rule on identical measurement streams. Cheap and
+	// deterministic, so it runs serially.
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "Winner picking under noise (%d paired trials per regime, experimental version\ntruly %.1f%% worse / better; stderr = raw-mean comparison, CI = Welch-gated):\n",
+		noiseTrialCount, 100*noiseTrialMargin)
+	fmt.Fprintf(&sb, "%-10s %21s %21s %23s\n", "", "wrong adopts", "missed wins", "invocations/trial")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %11s %11s\n",
+		"regime", "stderr", "CI", "stderr", "CI", "stderr", "CI")
+	for _, r := range regimes {
+		cfgCI, cfgSE := *cfg, *cfg
+		cfgCI.Convergence = core.ConvergeCI
+		cfgSE.Convergence = core.ConvergeStdErr
+		cfgCI.ImprovementThreshold = 0
+		cfgSE.ImprovementThreshold = 0
+		seed := sched.DeriveSeed(cfg.Seed, "noise-trials/"+r.Name)
+		ci := core.RunWinnerTrials(&cfgCI, r.Model, seed, noiseTrialCount, noiseTrialCycles, noiseTrialMargin)
+		se := core.RunWinnerTrials(&cfgSE, r.Model, seed, noiseTrialCount, noiseTrialCycles, noiseTrialMargin)
+		fmt.Fprintf(&sb, "%-10s %7d/%2d %7d/%2d %7d/%2d %7d/%2d %11.0f %11.0f\n",
+			r.Name,
+			se.WrongAdopts, se.Trials, ci.WrongAdopts, ci.Trials,
+			se.Misses, se.Trials, ci.Misses, ci.Trials,
+			float64(se.Invocations)/float64(2*se.Trials),
+			float64(ci.Invocations)/float64(2*ci.Trials))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/machine"
+	"peak/internal/sched"
+)
+
+func TestNoiseRegimes(t *testing.T) {
+	m := machine.SPARCII()
+	regimes := RegimesFor(m)
+	want := []string{"baseline", "gauss4x", "spikes", "drift", "bursts"}
+	if len(regimes) != len(want) {
+		t.Fatalf("regimes = %d, want %d", len(regimes), len(want))
+	}
+	for i, name := range want {
+		if regimes[i].Name != name {
+			t.Errorf("regime %d = %s, want %s", i, regimes[i].Name, name)
+		}
+	}
+	if regimes[0].Model != (RegimesFor(m)[0].Model) {
+		t.Error("RegimesFor is not stable")
+	}
+	// The baseline regime must be exactly the machine default: tuning
+	// with -noise baseline must reproduce tuning without the flag.
+	if d := regimes[0].Model; d.Jitter != m.NoiseStdDev || d.SpikeProb != m.OutlierProb {
+		t.Errorf("baseline regime %+v does not match machine noise", d)
+	}
+
+	if _, ok := RegimeByName(m, "spikes"); !ok {
+		t.Error("RegimeByName missed spikes")
+	}
+	if _, ok := RegimeByName(m, "hurricane"); ok {
+		t.Error("RegimeByName accepted junk")
+	}
+	if names := RegimeNames(m); len(names) != len(want) || names[2] != "spikes" {
+		t.Errorf("RegimeNames = %v", names)
+	}
+}
+
+// TestNoiseReportDeterministic: the report is byte-identical at any worker
+// count (the full-workload equivalent is checked by the tier-1 recipe via
+// cmd/peak-experiments -noise).
+func TestNoiseReportDeterministic(t *testing.T) {
+	benches := []*bench.Benchmark{quickBenchmark()}
+	m := machine.SPARCII()
+	cfg := core.DefaultConfig()
+	serial, err := noiseReportFor(benches, m, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := noiseReportFor(benches, m, &cfg, sched.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Error("noise report differs between 1 and 8 workers")
+	}
+
+	for _, want := range []string{"QUICK", "baseline", "bursts", "wrong adopts", "Welch-gated"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package noise provides composable, deterministic measurement-noise
+// models for the simulated timing clock.
+//
+// The paper's rating machinery (§3: windows, variance thresholds, outlier
+// elimination) exists because real measurements are perturbed — timer
+// jitter, interrupts, thermal throttling, co-scheduled load. This package
+// makes those perturbation regimes explicit and injectable so the rating
+// methods can be stress-tested under conditions far harsher than the
+// machine defaults:
+//
+//   - Gaussian jitter: multiplicative timer noise (Jitter).
+//   - Heavy-tailed spikes: rare large outliers from system perturbations
+//     such as interrupts (SpikeProb × SpikeScale) — the paper's explicit
+//     motivation for outlier elimination.
+//   - Thermal drift: a slow sinusoidal swing of the effective clock
+//     (DriftAmp over DriftPeriod measurements), the classic
+//     frequency-scaling / thermal-throttle pattern.
+//   - Correlated bursts: stretches of consecutive measurements sharing one
+//     elevated level (BurstProb, BurstLen, BurstScale), modelling a noisy
+//     neighbour or daemon waking up.
+//
+// A Model is a plain value; regimes compose by setting several field
+// groups at once. A Stream instantiates a model with a private random
+// stream, normally seeded via sched.DeriveSeed so that perturbations are a
+// pure function of the job identity — the package never reads global
+// randomness and two streams with the same model and seed produce
+// identical perturbation sequences.
+package noise
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model describes one measurement-noise regime. The zero value is
+// noiseless. Field groups are independent and compose: a model may carry
+// jitter, spikes, drift and bursts at once.
+type Model struct {
+	// Jitter is the relative standard deviation of multiplicative Gaussian
+	// timer noise applied to every measurement.
+	Jitter float64
+
+	// SpikeProb is the per-measurement probability of a heavy-tailed
+	// outlier spike; SpikeScale its magnitude: an affected measurement is
+	// multiplied by 1 + SpikeScale·(0.5 + U) with U uniform in [0,1).
+	SpikeProb  float64
+	SpikeScale float64
+
+	// DriftAmp is the amplitude of a slow sinusoidal multiplicative drift
+	// (thermal throttling / frequency scaling); DriftPeriod is the number
+	// of measurements per full cycle (0 selects DefaultDriftPeriod). The
+	// drift phase is drawn once per stream from the stream's seed.
+	DriftAmp    float64
+	DriftPeriod int
+
+	// BurstProb is the per-measurement probability of entering a burst
+	// when none is active; BurstLen the burst duration in measurements
+	// (0 selects DefaultBurstLen); BurstScale its magnitude. Every
+	// measurement inside one burst is multiplied by the same factor
+	// 1 + BurstScale·(0.5 + U), drawn at burst start — consecutive
+	// perturbations are therefore positively correlated.
+	BurstProb  float64
+	BurstLen   int
+	BurstScale float64
+}
+
+// Defaults for the optional period/length fields.
+const (
+	DefaultDriftPeriod = 1000
+	DefaultBurstLen    = 10
+)
+
+// Gaussian returns a pure timer-jitter regime.
+func Gaussian(jitter float64) Model { return Model{Jitter: jitter} }
+
+// HeavySpikes returns a jitter regime contaminated by heavy-tailed
+// outlier spikes.
+func HeavySpikes(jitter, prob, scale float64) Model {
+	return Model{Jitter: jitter, SpikeProb: prob, SpikeScale: scale}
+}
+
+// ThermalDrift returns a jitter regime riding on a slow sinusoidal drift.
+func ThermalDrift(jitter, amp float64, period int) Model {
+	return Model{Jitter: jitter, DriftAmp: amp, DriftPeriod: period}
+}
+
+// Bursts returns a jitter regime with correlated burst perturbations.
+func Bursts(jitter, prob float64, length int, scale float64) Model {
+	return Model{Jitter: jitter, BurstProb: prob, BurstLen: length, BurstScale: scale}
+}
+
+// IsZero reports whether the model injects no noise at all.
+func (m Model) IsZero() bool { return m == Model{} }
+
+// Stream is a Model instantiated with a private random stream. It is the
+// stateful generator behind sim.Clock: drift advances with the
+// measurement index and bursts persist across calls. A Stream must stay
+// confined to one goroutine (rating jobs derive one stream each).
+type Stream struct {
+	m   Model
+	rng *rand.Rand
+
+	n          int     // measurement index (drives the drift phase)
+	driftPhase float64 // random initial drift phase in [0,1)
+	burstLeft  int     // measurements remaining in the active burst
+	burstGain  float64 // multiplicative factor of the active burst
+}
+
+// NewStream instantiates the model with a deterministic random stream
+// derived from seed (callers typically pass sched.DeriveSeed output).
+func (m Model) NewStream(seed int64) *Stream {
+	s := &Stream{m: m, rng: rand.New(rand.NewSource(seed))}
+	if m.DriftAmp != 0 {
+		// Drawn only when drift is active so that drift-free models keep
+		// the exact draw sequence of the historical clock implementation.
+		s.driftPhase = s.rng.Float64()
+	}
+	return s
+}
+
+// Model returns the stream's model.
+func (s *Stream) Model() Model { return s.m }
+
+// Perturb applies one measurement's worth of noise to the true value t
+// and advances the stream. The jitter and spike draws happen in the
+// historical sim.Clock order, so a model carrying only those fields
+// reproduces the old clock bit for bit.
+func (s *Stream) Perturb(t float64) float64 {
+	m := s.m
+	if m.Jitter > 0 {
+		t *= 1 + s.rng.NormFloat64()*m.Jitter
+	}
+	if m.SpikeProb > 0 {
+		if s.rng.Float64() < m.SpikeProb {
+			t *= 1 + m.SpikeScale*(0.5+s.rng.Float64())
+		}
+	}
+	if m.DriftAmp != 0 {
+		period := m.DriftPeriod
+		if period <= 0 {
+			period = DefaultDriftPeriod
+		}
+		t *= 1 + m.DriftAmp*math.Sin(2*math.Pi*(float64(s.n)/float64(period)+s.driftPhase))
+	}
+	if m.BurstProb > 0 {
+		if s.burstLeft == 0 && s.rng.Float64() < m.BurstProb {
+			length := m.BurstLen
+			if length <= 0 {
+				length = DefaultBurstLen
+			}
+			s.burstLeft = length
+			s.burstGain = 1 + m.BurstScale*(0.5+s.rng.Float64())
+		}
+		if s.burstLeft > 0 {
+			t *= s.burstGain
+			s.burstLeft--
+		}
+	}
+	s.n++
+	return t
+}

@@ -1,0 +1,158 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sequence(m Model, seed int64, n int) []float64 {
+	s := m.NewStream(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Perturb(1000)
+	}
+	return out
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	m := Model{Jitter: 0.02, SpikeProb: 0.05, SpikeScale: 3,
+		DriftAmp: 0.03, DriftPeriod: 200, BurstProb: 0.02, BurstLen: 8, BurstScale: 0.1}
+	a := sequence(m, 77, 500)
+	b := sequence(m, 77, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sequence(m, 78, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Errorf("different seeds produced %d/%d identical perturbations", same, len(a))
+	}
+}
+
+// TestJitterSpikeOrderMatchesLegacyClock pins the draw order that keeps
+// machine-default models bit-identical to the historical sim.Clock
+// implementation: one NormFloat64 for jitter, then one Float64 for the
+// spike check, then one more Float64 only when a spike fires.
+func TestJitterSpikeOrderMatchesLegacyClock(t *testing.T) {
+	const seed, jitter, prob, scale = 42, 0.012, 0.004, 0.6
+	got := sequence(Model{Jitter: jitter, SpikeProb: prob, SpikeScale: scale}, seed, 2000)
+	rng := rand.New(rand.NewSource(seed))
+	for i, g := range got {
+		want := 1000 * (1 + rng.NormFloat64()*jitter)
+		if rng.Float64() < prob {
+			want *= 1 + scale*(0.5+rng.Float64())
+		}
+		if g != want {
+			t.Fatalf("measurement %d: got %v, want legacy %v", i, g, want)
+		}
+	}
+}
+
+func TestZeroModelIsIdentity(t *testing.T) {
+	if !(Model{}).IsZero() {
+		t.Error("zero model must report IsZero")
+	}
+	if (Model{Jitter: 0.1}).IsZero() {
+		t.Error("non-zero model must not report IsZero")
+	}
+	for i, v := range sequence(Model{}, 5, 50) {
+		if v != 1000 {
+			t.Fatalf("zero model perturbed measurement %d to %v", i, v)
+		}
+	}
+}
+
+func TestSpikesAreHeavyTailed(t *testing.T) {
+	base := sequence(Gaussian(0.01), 9, 4000)
+	spiky := sequence(HeavySpikes(0.01, 0.05, 4), 9, 4000)
+	maxB, maxS := 0.0, 0.0
+	for i := range base {
+		maxB = math.Max(maxB, base[i])
+		maxS = math.Max(maxS, spiky[i])
+	}
+	if maxS < 1000*2.5 {
+		t.Errorf("spiky max %v, want clear outliers above 2.5x", maxS)
+	}
+	if maxB > 1000*1.1 {
+		t.Errorf("pure jitter max %v, spikes leaked into Gaussian regime", maxB)
+	}
+}
+
+func TestDriftIsSlowBoundedAndCentred(t *testing.T) {
+	const amp, period = 0.05, 400
+	vals := sequence(ThermalDrift(0, amp, period), 3, 2*period)
+	sum, maxDev, maxStep := 0.0, 0.0, 0.0
+	for i, v := range vals {
+		f := v / 1000
+		sum += f
+		maxDev = math.Max(maxDev, math.Abs(f-1))
+		if i > 0 {
+			maxStep = math.Max(maxStep, math.Abs(f-vals[i-1]/1000))
+		}
+	}
+	if mean := sum / float64(len(vals)); math.Abs(mean-1) > 1e-3 {
+		t.Errorf("drift mean %v over full cycles, want ~1", mean)
+	}
+	if maxDev > amp+1e-9 || maxDev < amp*0.95 {
+		t.Errorf("drift max deviation %v, want ~%v", maxDev, amp)
+	}
+	// "Slow": per-measurement movement is far below the amplitude.
+	if maxStep > 2*math.Pi*amp/period*1.5 {
+		t.Errorf("drift step %v too fast for period %d", maxStep, period)
+	}
+}
+
+// TestBurstsAreCorrelated: inside the bursty regime, consecutive
+// perturbation factors are positively correlated (shared burst gain);
+// under pure jitter they are not.
+func TestBurstsAreCorrelated(t *testing.T) {
+	autocorr := func(vals []float64) float64 {
+		n := len(vals) - 1
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		var num, den float64
+		for i := 0; i < n; i++ {
+			num += (vals[i] - mean) * (vals[i+1] - mean)
+		}
+		for _, v := range vals {
+			den += (v - mean) * (v - mean)
+		}
+		return num / den
+	}
+	bursty := autocorr(sequence(Bursts(0.01, 0.03, 12, 0.2), 11, 6000))
+	plain := autocorr(sequence(Gaussian(0.01), 11, 6000))
+	if bursty < 0.3 {
+		t.Errorf("bursty autocorrelation %v, want strong positive", bursty)
+	}
+	if math.Abs(plain) > 0.1 {
+		t.Errorf("gaussian autocorrelation %v, want ~0", plain)
+	}
+}
+
+func TestBurstLength(t *testing.T) {
+	s := Bursts(0, 1, 5, 10).NewStream(1) // burst starts immediately
+	first := s.Perturb(1)
+	if first <= 1 {
+		t.Fatal("burst did not start")
+	}
+	for i := 1; i < 5; i++ {
+		if v := s.Perturb(1); v != first {
+			t.Fatalf("measurement %d inside burst = %v, want shared gain %v", i, v, first)
+		}
+	}
+	// With BurstProb=1 a new burst starts right away — but with a fresh gain.
+	if v := s.Perturb(1); v == first {
+		t.Error("new burst reused the previous gain draw sequence exactly — suspicious")
+	}
+}

@@ -85,7 +85,7 @@ func NewSerial() *Serial { return &Serial{} }
 
 // Map runs fn(0), fn(1), …, fn(n-1) in order on the calling goroutine.
 func (s *Serial) Map(n int, fn func(int)) {
-	s.stats.JobsQueued.Add(int64(n))
+	s.stats.enqueue(int64(n))
 	for i := 0; i < n; i++ {
 		s.stats.run(fn, i)
 	}
@@ -110,7 +110,7 @@ type parallel struct {
 }
 
 func (p *parallel) Map(n int, fn func(int)) {
-	p.stats.JobsQueued.Add(int64(n))
+	p.stats.enqueue(int64(n))
 	if n == 0 {
 		return
 	}

@@ -145,6 +145,36 @@ func TestStatsCyclesAndSummary(t *testing.T) {
 	}
 }
 
+// TestWallLatchesAfterLastJob: Wall must measure first-job-start to
+// last-job-completion, not to whenever the caller happens to ask. Before
+// the latch, a sleep between pool completion and Summary inflated the wall
+// figure and deflated utilization.
+func TestWallLatchesAfterLastJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		p.Map(8, func(i int) { time.Sleep(2 * time.Millisecond) })
+		wall := p.Stats().Wall()
+		if wall <= 0 {
+			t.Fatalf("workers=%d: wall = %v after Map", workers, wall)
+		}
+		time.Sleep(60 * time.Millisecond)
+		if got := p.Stats().Wall(); got != wall {
+			t.Errorf("workers=%d: wall grew while idle: %v -> %v", workers, wall, got)
+		}
+		sum := p.Stats().Summary(p.Workers())
+		time.Sleep(60 * time.Millisecond)
+		if again := p.Stats().Summary(p.Workers()); again != sum {
+			t.Errorf("workers=%d: Summary unstable while idle:\n%s\n%s", workers, sum, again)
+		}
+
+		// A new batch re-opens the window: Wall must grow past the latch.
+		p.Map(4, func(i int) { time.Sleep(2 * time.Millisecond) })
+		if got := p.Stats().Wall(); got <= wall {
+			t.Errorf("workers=%d: wall did not resume after new Map: %v <= %v", workers, got, wall)
+		}
+	}
+}
+
 func TestStartProgressEmitsAndStops(t *testing.T) {
 	p := New(2)
 	var buf bytes.Buffer

@@ -24,10 +24,23 @@ type Stats struct {
 	busyNanos atomic.Int64
 	// startNanos is the wall clock at first use (0 until then).
 	startNanos atomic.Int64
+	// endNanos latches the wall clock when the last queued job completes
+	// (0 while jobs are queued or in flight). Queuing new work clears it,
+	// so Wall freezes between batches instead of charging the pool for
+	// whatever the caller does after the work is done.
+	endNanos atomic.Int64
 }
 
 // AddCycles lets a running job report simulated cycles it consumed.
 func (s *Stats) AddCycles(n int64) { s.Cycles.Add(n) }
+
+// enqueue records n jobs handed to Map and re-opens the wall-time window.
+func (s *Stats) enqueue(n int64) {
+	s.JobsQueued.Add(n)
+	if n > 0 {
+		s.endNanos.Store(0)
+	}
+}
 
 // run executes one job with full accounting.
 func (s *Stats) run(fn func(int), i int) {
@@ -37,18 +50,26 @@ func (s *Stats) run(fn func(int), i int) {
 	defer func() {
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
 		s.JobsRunning.Add(-1)
-		s.JobsDone.Add(1)
+		if s.JobsDone.Add(1) == s.JobsQueued.Load() {
+			s.endNanos.Store(time.Now().UnixNano())
+		}
 	}()
 	fn(i)
 }
 
-// Wall returns the wall time elapsed since the pool first ran a job.
+// Wall returns the wall time the pool spent on jobs: from the first job's
+// start to now while work is queued or running, latched at the last job's
+// completion once the pool drains.
 func (s *Stats) Wall() time.Duration {
 	start := s.startNanos.Load()
 	if start == 0 {
 		return 0
 	}
-	return time.Duration(time.Now().UnixNano() - start)
+	end := s.endNanos.Load()
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	return time.Duration(end - start)
 }
 
 // Utilization returns busy-time ÷ (wall-time × workers): 1.0 means every

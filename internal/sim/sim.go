@@ -23,6 +23,7 @@ import (
 	"peak/internal/cache"
 	"peak/internal/ir"
 	"peak/internal/machine"
+	"peak/internal/noise"
 	"peak/internal/regalloc"
 )
 
@@ -555,29 +556,49 @@ func intrinsic(name string, args []float64) float64 {
 }
 
 // Clock converts deterministic cycle counts into noisy "measured" times.
+// The noise regime is a pluggable noise.Model (injected perturbations for
+// robustness experiments); NewClock uses the machine's default regime,
+// which mirrors the paper's measurement conditions.
 type Clock struct {
-	mach *machine.Machine
-	rng  *rand.Rand
+	stream *noise.Stream
 	// NoiseOff disables noise injection (ablation experiments).
 	NoiseOff bool
 }
 
-// NewClock returns a measurement clock with deterministic noise from seed.
-func NewClock(m *machine.Machine, seed int64) *Clock {
-	return &Clock{mach: m, rng: rand.New(rand.NewSource(seed))}
+// DefaultNoise returns the machine's baseline measurement-noise model:
+// Gaussian timer jitter plus rare outlier spikes from simulated system
+// perturbations (paper §3).
+func DefaultNoise(m *machine.Machine) noise.Model {
+	return noise.Model{
+		Jitter:     m.NoiseStdDev,
+		SpikeProb:  m.OutlierProb,
+		SpikeScale: m.OutlierScale,
+	}
 }
 
+// NewClock returns a measurement clock with the machine's default noise
+// regime, deterministic from seed.
+func NewClock(m *machine.Machine, seed int64) *Clock {
+	return NewClockWith(DefaultNoise(m), seed)
+}
+
+// NewClockWith returns a measurement clock driven by an explicit noise
+// model, deterministic from seed (noise-injection experiments).
+func NewClockWith(model noise.Model, seed int64) *Clock {
+	return &Clock{stream: model.NewStream(seed)}
+}
+
+// Noise returns the clock's noise model.
+func (c *Clock) Noise() noise.Model { return c.stream.Model() }
+
 // Measure returns the noisy measured time for a run of the given cycle
-// count: multiplicative Gaussian jitter plus rare additive outlier spikes.
+// count, perturbed by the clock's noise model.
 func (c *Clock) Measure(cycles int64) float64 {
 	t := float64(cycles)
 	if c.NoiseOff {
 		return t
 	}
-	t *= 1 + c.rng.NormFloat64()*c.mach.NoiseStdDev
-	if c.rng.Float64() < c.mach.OutlierProb {
-		t *= 1 + c.mach.OutlierScale*(0.5+c.rng.Float64())
-	}
+	t = c.stream.Perturb(t)
 	if t < 1 {
 		t = 1
 	}

@@ -99,11 +99,17 @@ func Median(xs []float64) float64 {
 // "may result from system perturbations, such as interrupts" (paper §3).
 // It uses a robust median-based filter: samples farther than k times the
 // median absolute deviation (scaled to σ) from the median are dropped.
-// It returns the surviving samples (order preserved) and the number
-// rejected. With fewer than 4 samples it returns the input unchanged.
-func RejectOutliers(xs []float64, k float64) (kept []float64, rejected int) {
+// It returns the surviving samples (order preserved, xs never modified)
+// and the number rejected. With fewer than 4 samples it returns the input
+// unchanged.
+//
+// When the filter would leave fewer than 2 survivors it gives up and
+// returns the full input with rejected = 0 and abandoned = true: the
+// window is so contaminated that "outlier" has no meaning, and callers
+// (Rating.Abandoned) must not mistake the give-up for a clean window.
+func RejectOutliers(xs []float64, k float64) (kept []float64, rejected int, abandoned bool) {
 	if len(xs) < 4 {
-		return xs, 0
+		return xs, 0, false
 	}
 	med := Median(xs)
 	devs := make([]float64, len(xs))
@@ -115,7 +121,7 @@ func RejectOutliers(xs []float64, k float64) (kept []float64, rejected int) {
 		// Fall back to a relative threshold for near-identical samples.
 		mad = math.Abs(med) * 1e-6
 		if mad == 0 {
-			return xs, 0
+			return xs, 0, false
 		}
 	}
 	sigma := 1.4826 * mad // MAD→σ for a normal distribution
@@ -128,9 +134,9 @@ func RejectOutliers(xs []float64, k float64) (kept []float64, rejected int) {
 		}
 	}
 	if len(kept) < 2 { // never reject almost everything
-		return xs, 0
+		return xs, 0, true
 	}
-	return kept, rejected
+	return kept, rejected, false
 }
 
 // RatingError computes the paper's rating-error statistics (Eqs. 8–10) for

@@ -72,7 +72,7 @@ func TestRejectOutliers(t *testing.T) {
 	// A clear outlier among tight samples is rejected (paper §3:
 	// "measurement outliers ... may result from system perturbations").
 	xs := []float64{100, 101, 99, 100.5, 99.5, 100.2, 400}
-	kept, rejected := RejectOutliers(xs, 4)
+	kept, rejected, _ := RejectOutliers(xs, 4)
 	if rejected != 1 || len(kept) != 6 {
 		t.Fatalf("rejected=%d kept=%d, want 1/6", rejected, len(kept))
 	}
@@ -85,17 +85,17 @@ func TestRejectOutliers(t *testing.T) {
 
 func TestRejectOutliersSmallAndUniform(t *testing.T) {
 	xs := []float64{1, 2, 3}
-	kept, rejected := RejectOutliers(xs, 3)
+	kept, rejected, _ := RejectOutliers(xs, 3)
 	if rejected != 0 || len(kept) != 3 {
 		t.Error("fewer than 4 samples must pass through unchanged")
 	}
 	same := []float64{7, 7, 7, 7, 7}
-	kept, rejected = RejectOutliers(same, 3)
+	kept, rejected, _ = RejectOutliers(same, 3)
 	if rejected != 0 || len(kept) != 5 {
 		t.Error("identical samples must pass through unchanged")
 	}
 	zeros := []float64{0, 0, 0, 0}
-	kept, rejected = RejectOutliers(zeros, 3)
+	kept, rejected, _ = RejectOutliers(zeros, 3)
 	if rejected != 0 || len(kept) != 4 {
 		t.Error("all-zero samples must pass through unchanged")
 	}
@@ -136,7 +136,7 @@ func TestQuickRejectOutliersInvariants(t *testing.T) {
 				xs[i] *= 50 // inject outliers
 			}
 		}
-		kept, rejected := RejectOutliers(xs, 3.5)
+		kept, rejected, _ := RejectOutliers(xs, 3.5)
 		if len(kept)+rejected != n && rejected != 0 {
 			return false
 		}

@@ -39,9 +39,11 @@ import (
 	"peak/internal/core"
 	"peak/internal/experiments"
 	"peak/internal/machine"
+	"peak/internal/noise"
 	"peak/internal/opt"
 	"peak/internal/profiling"
 	"peak/internal/sched"
+	"peak/internal/sim"
 	"peak/internal/workloads"
 )
 
@@ -89,6 +91,12 @@ type (
 	// results bit-identical to a serial run (see ARCHITECTURE.md for the
 	// determinism contract).
 	Pool = sched.Pool
+	// NoiseModel is a composable measurement-noise model (Gaussian jitter,
+	// heavy-tailed spikes, thermal drift, correlated bursts). Set
+	// Config.Noise to override a machine's default model.
+	NoiseModel = noise.Model
+	// NoiseRegime is a named noise model from the sensitivity sweep.
+	NoiseRegime = experiments.NoiseRegime
 )
 
 // Rating methods.
@@ -250,6 +258,32 @@ func Figure7On(m *Machine, cfg *Config, pool Pool) ([]Fig7Entry, error) {
 		c = *cfg
 	}
 	return experiments.Figure7On(workloads.Figure7Set(), m, &c, pool)
+}
+
+// DefaultNoise returns machine m's calibrated jitter-plus-spikes noise
+// model — what measurements experience when Config.Noise is nil.
+func DefaultNoise(m *Machine) NoiseModel { return sim.DefaultNoise(m) }
+
+// NoiseRegimes lists the noise-sensitivity regimes for machine m
+// (baseline, gauss4x, spikes, drift, bursts).
+func NoiseRegimes(m *Machine) []NoiseRegime { return experiments.RegimesFor(m) }
+
+// NoiseRegimeByName resolves a regime label for machine m.
+func NoiseRegimeByName(m *Machine, name string) (NoiseRegime, bool) {
+	return experiments.RegimeByName(m, name)
+}
+
+// NoiseReport regenerates the noise-sensitivity report for machine m:
+// Table-1-style rating consistency and winner-picking reliability under
+// each regime. cfg may be nil for the default configuration; the grid is
+// sharded over pool (nil means serial) with byte-identical output at any
+// worker count.
+func NoiseReport(m *Machine, cfg *Config, pool Pool) (string, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.NoiseReportOn(m, &c, pool)
 }
 
 // Validate sanity-checks a benchmark definition (useful when constructing
