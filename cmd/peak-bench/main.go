@@ -1,0 +1,192 @@
+// Command peak-bench measures the tuning-throughput numbers reported in
+// EXPERIMENTS.md ("Tuning throughput"): the cost of a compile-cache hit
+// versus a cold compilation, the simulator's invocation throughput on the
+// decoded-plan fast path, and the end-to-end wall time of the Table-1
+// consistency experiment. It emits one JSON object (BENCH_pr3.json in the
+// repository was produced by it; the documented command is recorded in the
+// output itself).
+//
+// Usage:
+//
+//	peak-bench                                  # compile + simulator numbers
+//	peak-bench -table1                          # also time Table 1 end to end
+//	peak-bench -table1 -baseline-table1-ns N    # embed a pre-change baseline
+//	peak-bench -o BENCH_pr3.json                # write instead of stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"peak/internal/core"
+	"peak/internal/experiments"
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/sim"
+	"peak/internal/vcache"
+	"peak/internal/workloads"
+)
+
+// report is the BENCH_pr3.json schema.
+type report struct {
+	Command string `json:"command"`
+	Bench   string `json:"bench"`
+	Machine string `json:"machine"`
+
+	// Compile cache: ns per cold compilation (no cache, every call runs
+	// the optimizer) vs ns per cached lookup of the same flag sets.
+	CompileColdNsOp   int64   `json:"compile_cold_ns_op"`
+	CompileCachedNsOp int64   `json:"compile_cached_ns_op"`
+	CompileSpeedup    float64 `json:"compile_speedup"`
+	CompileFlagSets   int     `json:"compile_flag_sets"`
+
+	// Simulator fast path: TS invocations per second and ns per invocation
+	// for the -O3 version of the selected benchmark.
+	InvocationsPerSec float64 `json:"invocations_per_sec"`
+	InvocationNsOp    int64   `json:"invocation_ns_op"`
+	InvocationCycles  int64   `json:"invocation_cycles"`
+
+	// End-to-end: wall time of the Table-1 consistency experiment on the
+	// selected machine (serial, all 14 benchmarks), plus the pre-change
+	// baseline and speedup when -baseline-table1-ns is given.
+	Table1WallNs         int64   `json:"table1_wall_ns,omitempty"`
+	Table1BaselineWallNs int64   `json:"table1_baseline_wall_ns,omitempty"`
+	Table1Speedup        float64 `json:"table1_speedup,omitempty"`
+}
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "SWIM", "benchmark for the compile and simulator measurements")
+		machName   = flag.String("machine", "sparc2", `machine: "sparc2" or "p4"`)
+		out        = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		runTable1  = flag.Bool("table1", false, "also run the Table-1 experiment end to end (seconds)")
+		baseNs     = flag.Int64("baseline-table1-ns", 0, "pre-change Table-1 wall time to embed for comparison")
+		minSeconds = flag.Float64("mintime", 1.0, "minimum seconds per timed section")
+	)
+	flag.Parse()
+
+	b, ok := workloads.ByName(*benchName)
+	if !ok {
+		fatalf("unknown benchmark %q", *benchName)
+	}
+	m, ok := machine.ByName(*machName)
+	if !ok {
+		fatalf("unknown machine %q", *machName)
+	}
+	r := report{
+		Command: "peak-bench " + strings.Join(os.Args[1:], " "),
+		Bench:   b.Name, Machine: m.Name,
+	}
+
+	// The flag-set population a tuning round touches: -O3 plus every
+	// one-flag-off candidate.
+	flagSets := []opt.FlagSet{opt.O3()}
+	for _, f := range opt.AllFlags() {
+		flagSets = append(flagSets, opt.O3().Without(f))
+	}
+	r.CompileFlagSets = len(flagSets)
+
+	// Cold: every call compiles. The inner loop re-runs the whole
+	// population so both sections do work proportional to len(flagSets).
+	coldOps := 0
+	coldStart := time.Now()
+	for time.Since(coldStart).Seconds() < *minSeconds {
+		for _, fs := range flagSets {
+			if _, err := opt.Compile(b.Prog, b.TS, fs, m); err != nil {
+				fatalf("compile %s: %v", fs, err)
+			}
+			coldOps++
+		}
+	}
+	r.CompileColdNsOp = time.Since(coldStart).Nanoseconds() / int64(coldOps)
+
+	// Cached: warm the cache with one pass, then time pure hits.
+	cache := vcache.New()
+	pk := vcache.ProgramKey(b.Prog)
+	lookup := func(fs opt.FlagSet) {
+		_, _, _, err := cache.GetOrCompile(
+			vcache.Key{Prog: pk, Fn: b.TSName, Flags: fs, Machine: m.Name},
+			func() (*sim.Version, error) { return opt.Compile(b.Prog, b.TS, fs, m) })
+		if err != nil {
+			fatalf("cached compile %s: %v", fs, err)
+		}
+	}
+	for _, fs := range flagSets {
+		lookup(fs)
+	}
+	cachedOps := 0
+	cachedStart := time.Now()
+	for time.Since(cachedStart).Seconds() < *minSeconds {
+		for _, fs := range flagSets {
+			lookup(fs)
+			cachedOps++
+		}
+	}
+	r.CompileCachedNsOp = time.Since(cachedStart).Nanoseconds() / int64(cachedOps)
+	if r.CompileCachedNsOp > 0 {
+		r.CompileSpeedup = float64(r.CompileColdNsOp) / float64(r.CompileCachedNsOp)
+	}
+
+	// Simulator throughput: repeated invocations of the -O3 version through
+	// one runner (plans decoded once, the tuning steady state).
+	v, err := opt.Compile(b.Prog, b.TS, opt.O3(), m)
+	if err != nil {
+		fatalf("compile -O3: %v", err)
+	}
+	mem := sim.NewMemory(b.Prog)
+	rng := rand.New(rand.NewSource(b.Seed(31)))
+	if b.Train.Setup != nil {
+		b.Train.Setup(mem, rng)
+	}
+	runner := sim.NewRunner(m, mem, 1)
+	args := b.Train.Args(0, mem, rng)
+	invOps := 0
+	invStart := time.Now()
+	for time.Since(invStart).Seconds() < *minSeconds {
+		_, st, err := runner.Run(v, args)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		r.InvocationCycles = st.Cycles
+		invOps++
+	}
+	invNs := time.Since(invStart).Nanoseconds()
+	r.InvocationNsOp = invNs / int64(invOps)
+	r.InvocationsPerSec = float64(invOps) / (float64(invNs) / 1e9)
+
+	if *runTable1 {
+		cfg := core.DefaultConfig()
+		t0 := time.Now()
+		if _, err := experiments.Table1(m, experiments.PaperWindows, &cfg); err != nil {
+			fatalf("table1: %v", err)
+		}
+		r.Table1WallNs = time.Since(t0).Nanoseconds()
+		if *baseNs > 0 {
+			r.Table1BaselineWallNs = *baseNs
+			r.Table1Speedup = float64(*baseNs) / float64(r.Table1WallNs)
+		}
+	}
+
+	enc, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peak-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -33,6 +33,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 	headline := flag.Bool("headline", false, "also print the paper-abstract summary numbers")
 	noiseRep := flag.Bool("noise", false, "regenerate the noise-sensitivity report instead of Figure 7")
+	noCache := flag.Bool("nocache", false, "disable the compile cache (A/B check; output is identical either way)")
+	cacheStats := flag.Bool("cachestats", false, "print compile-cache statistics to stderr (Figure 7 mode)")
 	flag.Parse()
 
 	var machines []*peak.Machine
@@ -54,9 +56,12 @@ func main() {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
 
+	cfg := peak.DefaultConfig()
+	cfg.NoCompileCache = *noCache
+
 	if *noiseRep {
 		for i, m := range machines {
-			report, err := peak.NoiseReport(m, nil, pool)
+			report, err := peak.NoiseReport(m, &cfg, pool)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 				os.Exit(1)
@@ -73,9 +78,16 @@ func main() {
 		return
 	}
 
+	// One compile cache shared across machines: compilations are keyed by
+	// machine, so nothing collides, and the -cachestats summary covers the
+	// whole run. Output is byte-identical with or without it.
+	var cache *peak.VersionCache
+	if !*noCache {
+		cache = peak.NewVersionCache()
+	}
 	var all []peak.Fig7Entry
 	for _, m := range machines {
-		entries, err := peak.Figure7On(m, nil, pool)
+		entries, err := experiments.Figure7OnCached(peak.Figure7Benchmarks(), m, &cfg, pool, cache)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 			os.Exit(1)
@@ -83,6 +95,9 @@ func main() {
 		fmt.Print(experiments.FormatFigure7(entries, m.Name))
 		fmt.Println()
 		all = append(all, entries...)
+	}
+	if *cacheStats && cache != nil {
+		fmt.Fprintln(os.Stderr, cache.Stats().Summary())
 	}
 
 	if *headline {

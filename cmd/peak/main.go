@@ -31,6 +31,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		listFlags = flag.Bool("list-flags", false, "list the 38 tunable optimization flags and exit")
+		noCache   = flag.Bool("nocache", false, "disable the compile cache (output is byte-identical either way)")
 		verbose   = flag.Bool("v", false, "print profile and consultant details")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 	}
 
 	cfg := peak.DefaultConfig()
+	cfg.NoCompileCache = *noCache
 	if *noiseName != "" {
 		regime, ok := peak.NoiseRegimeByName(m, *noiseName)
 		if !ok {
@@ -124,6 +126,11 @@ func main() {
 	fmt.Printf("best flags:     %s\n", res.Best)
 	fmt.Printf("tuning cost:    %d simulated cycles, %d program runs, %d versions rated\n",
 		res.TuningCycles, res.ProgramRuns, res.VersionsRated)
+	// These counters are derived from the tune's own compile requests (not
+	// the shared cache's global state), so they are deterministic at any
+	// worker count and safe to print in the results body.
+	fmt.Printf("compile cache:  %d lookups, %d hits, %d compiles (%d shared code), %d ratings skipped by code dedup\n",
+		res.CacheLookups, res.CacheHits, res.CacheMisses, res.SharedCode, res.DedupSkips)
 
 	base, _, err := peak.Measure(b, b.Ref, m, peak.O3())
 	if err != nil {

@@ -9,10 +9,15 @@ package cache
 
 import "peak/internal/machine"
 
+// line's lru stamp and level's tick are 64-bit on purpose: long tuning runs
+// reuse one Hierarchy across billions of accesses, and a 32-bit tick wraps
+// after ~4.3e9 — after which fresh lines would stamp *small* values and be
+// evicted as if least-recently used, silently degrading LRU to near-random
+// replacement. See TestLRUTickWraparound.
 type line struct {
 	tag   uint64
 	valid bool
-	lru   uint32
+	lru   uint64
 }
 
 type level struct {
@@ -20,7 +25,7 @@ type level struct {
 	sets     [][]line
 	numSets  int
 	lineBits uint
-	tick     uint32
+	tick     uint64
 
 	hits, misses int64
 }

@@ -11,6 +11,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sim"
 	"peak/internal/stats"
+	"peak/internal/vcache"
 )
 
 // AdaptiveTuner implements the paper's online, adaptive scenario (§6 and
@@ -36,6 +37,11 @@ type AdaptiveTuner struct {
 	// Window overrides Cfg.Window for the online samples (smaller windows
 	// keep exploration overhead low); zero keeps Cfg.Window.
 	Window int
+
+	// Cache optionally shares compiled versions with other tuners (see
+	// Tuner.Cache). Nil keeps the run's private per-flag-set memo; results
+	// are bit-identical either way.
+	Cache *vcache.Cache
 }
 
 // AdaptiveResult reports one adaptive production run.
@@ -74,11 +80,23 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 	}
 	prog := a.Bench.Prog
 	versions := map[opt.FlagSet]*sim.Version{}
+	var progKey uint64
+	if a.Cache != nil {
+		progKey = vcache.ProgramKey(prog)
+	}
 	version := func(fs opt.FlagSet) (*sim.Version, error) {
 		if v, ok := versions[fs]; ok {
 			return v, nil
 		}
-		v, err := opt.Compile(prog, a.Bench.TS, fs, a.Mach)
+		var v *sim.Version
+		var err error
+		if a.Cache != nil {
+			v, _, _, err = a.Cache.GetOrCompile(
+				vcache.Key{Prog: progKey, Fn: a.Bench.TS.Name, Flags: fs, Machine: a.Mach.Name},
+				func() (*sim.Version, error) { return opt.Compile(prog, a.Bench.TS, fs, a.Mach) })
+		} else {
+			v, err = opt.Compile(prog, a.Bench.TS, fs, a.Mach)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -223,8 +223,16 @@ func TestTunerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TuningCycles <= 0 || res.ProgramRuns < 1 || res.VersionsRated < opt.NumFlags {
+	// Every flag must have been considered each round — rated, or skipped
+	// because its code fingerprinted identically to the base or an
+	// already-rated candidate (the dedup layer).
+	if res.TuningCycles <= 0 || res.ProgramRuns < 1 ||
+		res.VersionsRated+res.DedupSkips < opt.NumFlags {
 		t.Errorf("suspicious ledger: %+v", res)
+	}
+	if res.CacheLookups <= 0 || res.CacheMisses <= 0 ||
+		res.CacheHits != res.CacheLookups-res.CacheMisses {
+		t.Errorf("inconsistent cache ledger: %+v", res)
 	}
 	// The tuned version must not be worse than -O3 on the tuning dataset.
 	base, _, err := MeasurePerformance(b, b.Train, m, opt.O3())

@@ -16,6 +16,7 @@ import (
 	"peak/internal/sched"
 	"peak/internal/sim"
 	"peak/internal/stats"
+	"peak/internal/vcache"
 )
 
 // Tuner drives the PEAK offline tuning of one benchmark's tuning section on
@@ -41,6 +42,16 @@ type Tuner struct {
 	// sched.DeriveSeed(rootSeed, jobKey) and the round reduction runs in
 	// candidate order (see ARCHITECTURE.md for the determinism contract).
 	Pool sched.Pool
+
+	// Cache is an optional shared compile cache: experiment drivers pass
+	// one cache to many Tuners so a (program, function, flags, machine)
+	// combination compiles once across tunes. Nil gives the tune a private
+	// cache (flag sets still compile once per tune, and flag sets that
+	// generate identical code share one frozen version). Sharing cannot
+	// perturb results: compilation is deterministic, cached versions are
+	// frozen before publication, and all per-execution state lives in
+	// per-job runners. Cfg.NoCompileCache disables caching entirely.
+	Cache *vcache.Cache
 }
 
 // TuneResult reports a finished tuning process.
@@ -70,6 +81,25 @@ type TuneResult struct {
 	// rating order (re-rated rounds included — the time was spent).
 	Escalations    int
 	EscalatedFlags []opt.Flag
+
+	// Compile-cache ledger. These count THIS tune's own behaviour — not
+	// the shared cache's global totals, which depend on what other tunes
+	// run concurrently — so they are scheduling-independent and safe for
+	// the bit-identical determinism contract. CacheLookups is the number
+	// of version requests the engine made; CacheMisses the distinct flag
+	// sets compiled (or fetched from a shared cache) for it; CacheHits the
+	// requests answered by the tune's own memo table.
+	CacheLookups int64
+	CacheHits    int64
+	CacheMisses  int64
+	// SharedCode counts distinct flag sets whose generated code
+	// fingerprinted identically to another flag set of this tune (the code
+	// dedup layer); DedupSkips counts candidate ratings skipped because
+	// their code fingerprint matched the base or an already-rated
+	// candidate of the same round (the skipped candidate inherits the
+	// rated twin's rating).
+	SharedCode int
+	DedupSkips int
 }
 
 // engine is the running state of one tuning process. Cross-job state is
@@ -90,8 +120,18 @@ type engine struct {
 	// rootSeed is the root of every per-job seed derivation.
 	rootSeed int64
 
-	mu       sync.Mutex
-	versions map[opt.FlagSet]*sim.Version
+	// cache is the compile cache (Tuner.Cache, or a private one); nil when
+	// Cfg.NoCompileCache is set. local memoizes this tune's own
+	// (flag set -> version, fingerprint) resolutions: it keeps repeat
+	// lookups off the shared cache's lock and is what the deterministic
+	// TuneResult cache counters are derived from. progKey is the HIR hash
+	// of the instrumented program, the cache key's program-identity part.
+	cache   *vcache.Cache
+	progKey uint64
+	lookups int64
+
+	mu    sync.Mutex
+	local map[opt.FlagSet]versionInfo
 
 	res      *TuneResult
 	switched int
@@ -122,6 +162,21 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 	}
 	e.res.MethodUsed = e.methods[e.mi]
 	e.res.MethodSwitches = e.switched
+	// Cache counters, derived from the tune's own memo table so they are
+	// independent of what other tunes share the cache: misses = distinct
+	// flag sets, hits = repeat lookups, shared = flag sets whose code
+	// fingerprinted identically to an earlier-seen flag set of this tune.
+	e.res.CacheLookups = e.lookups
+	e.res.CacheMisses = int64(len(e.local))
+	e.res.CacheHits = e.lookups - e.res.CacheMisses
+	fps := make(map[uint64]bool, len(e.local))
+	for _, vi := range e.local {
+		if fps[vi.fp] {
+			e.res.SharedCode++
+		} else {
+			fps[vi.fp] = true
+		}
+	}
 	return e.res, nil
 }
 
@@ -136,8 +191,14 @@ func (t *Tuner) newEngine() (*engine, error) {
 		cfg:      &cfg,
 		pool:     pool,
 		rootSeed: cfg.Seed ^ t.Bench.Seed(1),
-		versions: map[opt.FlagSet]*sim.Version{},
+		local:    map[opt.FlagSet]versionInfo{},
 		res:      &TuneResult{},
+	}
+	if !cfg.NoCompileCache {
+		e.cache = t.Cache
+		if e.cache == nil {
+			e.cache = vcache.New()
+		}
 	}
 
 	e.app = Consult(t.Profile, &cfg)
@@ -158,25 +219,51 @@ func (t *Tuner) newEngine() (*engine, error) {
 	e.ts = analysis.StripCounters(instr, keep)
 	e.prog = t.Bench.Prog.Clone()
 	e.prog.AddFunc(e.ts)
+	// The cache key hashes the instrumented program: tunes with identical
+	// benchmarks and kept-counter sets share compilations, tunes whose
+	// instrumentation differs cannot collide.
+	e.progKey = vcache.ProgramKey(e.prog)
 	return e, nil
 }
 
-// version returns the compiled version of the TS under fs, compiling and
-// freezing it on first use. The lock serializes compilation, so exactly
-// one Version exists per flag set no matter how many jobs request it.
-func (e *engine) version(fs opt.FlagSet) (*sim.Version, error) {
+// versionInfo is a resolved compilation: the frozen version and its code
+// fingerprint (vcache.Fingerprint).
+type versionInfo struct {
+	v  *sim.Version
+	fp uint64
+}
+
+// version returns the compiled version of the TS under fs plus its code
+// fingerprint, compiling and freezing it on first use. The lock serializes
+// compilation, so exactly one Version exists per flag set no matter how
+// many jobs request it; with a shared cache, whichever tune compiles the
+// key first publishes the (deterministic) result for all.
+func (e *engine) version(fs opt.FlagSet) (*sim.Version, uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if v, ok := e.versions[fs]; ok {
-		return v, nil
+	e.lookups++
+	if vi, ok := e.local[fs]; ok {
+		return vi.v, vi.fp, nil
 	}
-	v, err := opt.Compile(e.prog, e.ts, fs, e.t.Mach)
-	if err != nil {
-		return nil, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+	var vi versionInfo
+	if e.cache != nil {
+		v, fp, _, err := e.cache.GetOrCompile(
+			vcache.Key{Prog: e.progKey, Fn: e.ts.Name, Flags: fs, Machine: e.t.Mach.Name},
+			func() (*sim.Version, error) { return opt.Compile(e.prog, e.ts, fs, e.t.Mach) })
+		if err != nil {
+			return nil, 0, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+		}
+		vi = versionInfo{v, fp}
+	} else {
+		v, err := opt.Compile(e.prog, e.ts, fs, e.t.Mach)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+		}
+		v.Freeze()
+		vi = versionInfo{v, vcache.Fingerprint(v)}
 	}
-	v.Freeze()
-	e.versions[fs] = v
-	return v, nil
+	e.local[fs] = vi
+	return vi.v, vi.fp, nil
 }
 
 // ratingCtx is one rating job's private execution context: simulated
@@ -299,7 +386,7 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalat
 	res := jobResult{ctx: c}
 	defer func() { e.pool.Stats().AddCycles(c.cycles) }()
 
-	expV, err := e.version(exp)
+	expV, _, err := e.version(exp)
 	if err != nil {
 		res.err = err
 		return res
@@ -309,7 +396,7 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalat
 		res.converged = res.err == nil
 		return res
 	}
-	baseV, err := e.version(base)
+	baseV, _, err := e.version(base)
 	if err != nil {
 		res.err = err
 		return res
@@ -406,6 +493,39 @@ func (e *engine) account(r *jobResult) {
 // the index-ordered job results — never on completion order — the switch
 // point is identical at every worker count.
 func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag) ([]float64, error) {
+	// Precompile the base and every candidate and group the candidates by
+	// code fingerprint. A candidate whose generated code is identical to the
+	// base cannot improve on it — rating it would only hand measurement
+	// noise a chance to fake a winner — so it is skipped outright (leader
+	// -1, improvement 0). Candidates that share code with an earlier
+	// candidate are rated once, by the earliest (the group's leader), and
+	// inherit its rating. Fingerprints depend only on the compiler, never on
+	// scheduling or the rating method, so the grouping — and therefore every
+	// skip — is identical at any worker count and with the cache on or off.
+	_, baseFP, err := e.version(current)
+	if err != nil {
+		return nil, err
+	}
+	leaderOf := make([]int, len(candidates)) // -1: identical to base
+	firstByFP := make(map[uint64]int, len(candidates))
+	var leaders []int
+	for i, f := range candidates {
+		_, fp, err := e.version(current.Without(f))
+		if err != nil {
+			return nil, err
+		}
+		switch first, ok := firstByFP[fp]; {
+		case fp == baseFP:
+			leaderOf[i] = -1
+		case ok:
+			leaderOf[i] = first
+		default:
+			firstByFP[fp] = i
+			leaderOf[i] = i
+			leaders = append(leaders, i)
+		}
+	}
+
 	for {
 		m := e.methods[e.mi]
 
@@ -426,16 +546,20 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 			baseConverged = b.converged
 		}
 
+		// Only group leaders are rated; the job keys keep the per-flag
+		// format, so a leader's seeds (and rating) do not depend on which
+		// other candidates happened to share its code.
 		escalatable := e.t.Force == nil
 		results := make([]jobResult, len(candidates))
-		e.pool.Map(len(candidates), func(i int) {
+		e.pool.Map(len(leaders), func(j int) {
+			i := leaders[j]
 			f := candidates[i]
 			key := fmt.Sprintf("round=%d/method=%s/flag=%s", round, m, f)
 			results[i] = e.rateJob(key, m, current.Without(f), current, escalatable)
 		})
 
 		allConverged := baseConverged
-		for i := range results {
+		for _, i := range leaders {
 			r := &results[i]
 			if r.err != nil {
 				return nil, r.err
@@ -449,6 +573,8 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				allConverged = false
 			}
 		}
+		// Every non-leader is a rating this round attempt did not run.
+		e.res.DedupSkips += len(candidates) - len(leaders)
 
 		if !allConverged && e.mi+1 < len(e.methods) {
 			// Not converging: switch to the next applicable method and
@@ -469,7 +595,7 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 		gate := e.cfg.Convergence == ConvergeCI
 		conf := e.cfg.confidence()
 		imps := make([]float64, len(candidates))
-		for i := range results {
+		for _, i := range leaders {
 			rt := results[i].rating
 			imp := rt.ImprovementOver(baseEval)
 			if gate && imp != 0 {
@@ -486,6 +612,13 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				}
 			}
 			imps[i] = imp
+		}
+		for i, l := range leaderOf {
+			if l >= 0 && l != i {
+				// Identical code, identical rating: inherit the leader's
+				// (already gated) improvement.
+				imps[i] = imps[l]
+			}
 		}
 		return imps, nil
 	}

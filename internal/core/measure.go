@@ -8,6 +8,7 @@ import (
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/sim"
+	"peak/internal/vcache"
 )
 
 // MeasurePerformance runs the benchmark's tuning section over the dataset
@@ -16,7 +17,25 @@ import (
 // section, "absent of any instrumentation code" (§4.2).
 func MeasurePerformance(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
 	flags opt.FlagSet) (tsCycles, programCycles int64, err error) {
-	v, err := opt.Compile(b.Prog, b.TS, flags, m)
+	return MeasurePerformanceCached(b, ds, m, flags, nil)
+}
+
+// MeasurePerformanceCached is MeasurePerformance resolving the compilation
+// through a shared compile cache. The measured cycles are identical with or
+// without a cache (compilation is deterministic and cached versions are
+// frozen); the cache only removes repeat compile work when experiment
+// drivers measure the same (benchmark, flags, machine) combination more
+// than once. A nil cache compiles directly.
+func MeasurePerformanceCached(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
+	flags opt.FlagSet, cache *vcache.Cache) (tsCycles, programCycles int64, err error) {
+	var v *sim.Version
+	if cache != nil {
+		v, _, _, err = cache.GetOrCompile(
+			vcache.Key{Prog: vcache.ProgramKey(b.Prog), Fn: b.TS.Name, Flags: flags, Machine: m.Name},
+			func() (*sim.Version, error) { return opt.Compile(b.Prog, b.TS, flags, m) })
+	} else {
+		v, err = opt.Compile(b.Prog, b.TS, flags, m)
+	}
 	if err != nil {
 		return 0, 0, fmt.Errorf("measure %s: %w", b.Name, err)
 	}

@@ -184,6 +184,12 @@ type Config struct {
 	// Noise overrides the machine's default measurement-noise model (see
 	// NoiseModelFor); nil keeps the machine default.
 	Noise *noise.Model
+	// NoCompileCache disables the compile cache (internal/vcache): every
+	// tune falls back to a private per-tune memo table with direct
+	// compilation. Outputs are bit-identical either way (compilation is
+	// deterministic); the switch exists for benchmarking the cache and for
+	// the determinism cross-check in the test suite.
+	NoCompileCache bool
 }
 
 // confidence returns the effective confidence level.

@@ -16,6 +16,7 @@ import (
 	"peak/internal/opt"
 	"peak/internal/profiling"
 	"peak/internal/sched"
+	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
 
@@ -140,6 +141,20 @@ func Figure7For(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config
 // input order and every tuning engine derives its random streams per job,
 // so the result is identical at any worker count.
 func Figure7On(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) ([]Fig7Entry, error) {
+	var cache *vcache.Cache
+	if !cfg.NoCompileCache {
+		cache = vcache.New()
+	}
+	return Figure7OnCached(benches, m, cfg, pool, cache)
+}
+
+// Figure7OnCached is Figure7On with a caller-supplied compile cache, shared
+// by every tuning process and performance measurement of the run (each
+// (benchmark, flags, machine, dataset-independent) compilation happens
+// once). Callers pass their own cache to aggregate stats across machines or
+// print them (-cachestats); nil disables caching. Entries are bit-identical
+// for any cache value — see the determinism notes on core.Tuner.Cache.
+func Figure7OnCached(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache) ([]Fig7Entry, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
@@ -149,7 +164,7 @@ func Figure7On(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config,
 	}
 	results := make([]result, len(benches))
 	pool.Map(len(benches), func(i int) {
-		entries, err := figure7One(benches[i], m, cfg, pool)
+		entries, err := figure7One(benches[i], m, cfg, pool, cache)
 		results[i] = result{entries, err}
 	})
 	var out []Fig7Entry
@@ -162,7 +177,7 @@ func Figure7On(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config,
 	return out, nil
 }
 
-func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) ([]Fig7Entry, error) {
+func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache) ([]Fig7Entry, error) {
 	var out []Fig7Entry
 	{
 		pTrain, err := profiling.Run(b, b.Train, m)
@@ -175,7 +190,7 @@ func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool s
 		}
 		chosen := core.Consult(pTrain, cfg).Chosen()
 
-		baseRef, _, err := core.MeasurePerformance(b, b.Ref, m, opt.O3())
+		baseRef, _, err := core.MeasurePerformanceCached(b, b.Ref, m, opt.O3(), cache)
 		if err != nil {
 			return nil, err
 		}
@@ -186,19 +201,19 @@ func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool s
 			method := method
 			e := Fig7Entry{Benchmark: b.Name, Method: method, Chosen: method == chosen}
 
-			trainRes, err := tuneForced(b, b.Train, m, pTrain, method, cfg, pool)
+			trainRes, err := tuneForced(b, b.Train, m, pTrain, method, cfg, pool, cache)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s train: %w", b.Name, method, err)
 			}
-			refRes, err := tuneForced(b, b.Ref, m, pRef, method, cfg, pool)
+			refRes, err := tuneForced(b, b.Ref, m, pRef, method, cfg, pool, cache)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s ref: %w", b.Name, method, err)
 			}
-			tunedTrain, _, err := core.MeasurePerformance(b, b.Ref, m, trainRes.Best)
+			tunedTrain, _, err := core.MeasurePerformanceCached(b, b.Ref, m, trainRes.Best, cache)
 			if err != nil {
 				return nil, err
 			}
-			tunedRef, _, err := core.MeasurePerformance(b, b.Ref, m, refRes.Best)
+			tunedRef, _, err := core.MeasurePerformanceCached(b, b.Ref, m, refRes.Best, cache)
 			if err != nil {
 				return nil, err
 			}
@@ -249,11 +264,12 @@ func forceable(p *profiling.Profile, cfg *core.Config) []core.Method {
 }
 
 func tuneForced(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
-	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool) (*core.TuneResult, error) {
+	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool,
+	cache *vcache.Cache) (*core.TuneResult, error) {
 	forced := method
 	tu := &core.Tuner{
 		Bench: b, Mach: m, Dataset: ds, Cfg: *cfg, Profile: p, Force: &forced,
-		Pool: pool,
+		Pool: pool, Cache: cache,
 	}
 	return tu.Tune()
 }

@@ -12,7 +12,9 @@ import (
 	"peak/internal/irbuild"
 	"peak/internal/machine"
 	"peak/internal/profiling"
+	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
 
@@ -191,4 +193,64 @@ func TestSummarize(t *testing.T) {
 
 func profileOf(b *bench.Benchmark, m *machine.Machine) (*profiling.Profile, error) {
 	return profiling.Run(b, b.Train, m)
+}
+
+// TestVersionCacheDeterminism is the compile-cache half of the determinism
+// contract (ARCHITECTURE.md §3): the formatted experiment outputs — the
+// Figure-7 panels, a Table-1 consistency row, and the noise-sensitivity
+// report — must be byte-identical with the cache enabled or disabled and at
+// 1 or 8 workers. The full-workload equivalent is spot-checked by the
+// tier-1 recipe against the recorded results files.
+func TestVersionCacheDeterminism(t *testing.T) {
+	benches := []*bench.Benchmark{quickBenchmark()}
+	m := machine.SPARCII()
+
+	render := func(noCache bool, pool sched.Pool) string {
+		cfg := core.DefaultConfig()
+		cfg.NoCompileCache = noCache
+		var cache *vcache.Cache
+		if !noCache {
+			cache = vcache.New()
+		}
+		entries, err := Figure7OnCached(benches, m, &cfg, pool, cache)
+		if err != nil {
+			t.Fatalf("figure7 (nocache=%v): %v", noCache, err)
+		}
+		fig := FormatFigure7(entries, m.Name)
+
+		// Table 1: the consistency experiment deliberately bypasses the
+		// cache (it measures two independently compiled -O3 copies), so its
+		// rows must be untouched by the config switch.
+		p, err := profileOf(benches[0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := core.Consistency(benches[0], m, p, core.Consult(p, &cfg).Chosen(),
+			[]int{10, 20}, &cfg)
+		if err != nil {
+			t.Fatalf("consistency (nocache=%v): %v", noCache, err)
+		}
+		tab := FormatTable1(rows, []int{10, 20})
+
+		noise, err := noiseReportFor(benches, m, &cfg, pool)
+		if err != nil {
+			t.Fatalf("noise report (nocache=%v): %v", noCache, err)
+		}
+		return fig + "\n" + tab + "\n" + noise
+	}
+
+	ref := render(false, nil) // cache on, serial: the recorded-results path
+	for _, c := range []struct {
+		name    string
+		noCache bool
+		pool    sched.Pool
+	}{
+		{"cache on, workers=8", false, sched.New(8)},
+		{"cache off, workers=1", true, nil},
+		{"cache off, workers=8", true, sched.New(8)},
+	} {
+		if got := render(c.noCache, c.pool); got != ref {
+			t.Errorf("%s: output diverged from cache on, workers=1", c.name)
+		}
+	}
 }

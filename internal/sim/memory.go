@@ -18,6 +18,9 @@ type Array struct {
 type Memory struct {
 	arrays map[string]*Array
 	next   uint64
+	// gen counts Alloc calls; execution plans that resolved array pointers
+	// re-resolve them when it moves (see vplan.sync).
+	gen uint64
 }
 
 // NewMemory lays out the program's declared arrays in a fresh address space.
@@ -40,6 +43,7 @@ func (m *Memory) Alloc(name string, n int) *Array {
 	// distinct arrays do not systematically collide in direct-mapped sets.
 	m.next += uint64(n)*8 + 256 + uint64(len(m.arrays)+1)*64
 	m.arrays[name] = a
+	m.gen++
 	return a
 }
 

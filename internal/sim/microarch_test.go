@@ -79,6 +79,55 @@ func TestMispredictPenaltyObservable(t *testing.T) {
 	}
 }
 
+// TestResetMicroarchResetsPredictorInPlace: ResetMicroarch must restore the
+// cold microarchitectural state — a re-run after it is cycle-identical to
+// the first run — while reusing the decoded plan and its predictor slice
+// (re-initialized in place via the epoch scheme, not reallocated).
+func TestResetMicroarchResetsPredictorInPlace(t *testing.T) {
+	m := machine.PentiumIV()
+	v, prog := branchyVersion(t, m)
+	mem := NewMemory(prog)
+	d := mem.Get("gate").Data
+	for i := range d {
+		d[i] = float64(i % 3) // branchy enough to train the predictor
+	}
+	r := NewRunner(m, mem, 1)
+	_, cold, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.plans[v]
+	if p == nil {
+		t.Fatal("no decoded plan cached for the version")
+	}
+	pred := &p.pred[0]
+
+	// Warm state must be observably different, or the reset check below
+	// would be vacuous.
+	_, warm, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cycles == cold.Cycles {
+		t.Fatal("warm run indistinguishable from cold run; test needs a state-sensitive kernel")
+	}
+
+	r.ResetMicroarch()
+	_, again, err := r.Run(v, []float64{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cycles != cold.Cycles {
+		t.Errorf("run after ResetMicroarch = %d cycles, want cold %d", again.Cycles, cold.Cycles)
+	}
+	if r.plans[v] != p {
+		t.Error("ResetMicroarch dropped the decoded plan")
+	}
+	if &p.pred[0] != pred {
+		t.Error("predictor slice was reallocated instead of re-initialized in place")
+	}
+}
+
 func TestSpillCostObservable(t *testing.T) {
 	m := machine.PentiumIV()
 	prog := ir.NewProgram()

@@ -117,11 +117,15 @@ type Runner struct {
 	Mem   *Memory
 	Cache *cache.Hierarchy
 
-	// pred holds 2-bit branch-predictor counters per version, indexed by
-	// block slice position; state persists across invocations within a
-	// program run (ResetMicroarch clears it).
-	pred map[*Version][]uint8
-	rng  *rand.Rand
+	// plans holds the per-version decoded dispatch tables (see plan.go),
+	// including the 2-bit branch-predictor counters; predictor state
+	// persists across invocations within a program run (ResetMicroarch
+	// bumps epoch, which re-initializes it in place on next use).
+	plans    map[*Version]*vplan
+	lastV    *Version
+	lastPlan *vplan
+	epoch    uint64
+	rng      *rand.Rand
 
 	// MaxSteps bounds dynamic instructions per Run (guards against
 	// miscompiled infinite loops). Zero means the default of 100M.
@@ -141,9 +145,12 @@ type Runner struct {
 	// between executions with WriteLog = WriteLog[:0].
 	WriteLog []WriteRec
 
-	// scratch buffers reused across invocations, one pair per call depth.
+	// scratch buffers reused across invocations, one per call depth.
 	scratchRegs  [][]float64
 	scratchReady [][]int64
+	scratchArgs  [][]float64
+
+	ex execState
 }
 
 // frame returns zeroed register/ready buffers for a call depth.
@@ -165,6 +172,20 @@ func (r *Runner) frame(depth, n int) ([]float64, []int64) {
 	return regs, ready
 }
 
+// callBuf returns an argument buffer for a call made at the given depth.
+// At most one call per depth is in flight at a time, and callees copy the
+// arguments into their own registers on entry, so the buffer is free for
+// reuse as soon as the next call at the same depth begins.
+func (r *Runner) callBuf(depth, n int) []float64 {
+	for len(r.scratchArgs) <= depth {
+		r.scratchArgs = append(r.scratchArgs, nil)
+	}
+	if cap(r.scratchArgs[depth]) < n {
+		r.scratchArgs[depth] = make([]float64, n)
+	}
+	return r.scratchArgs[depth][:n]
+}
+
 // NewRunner creates a runner for machine m over memory mem, with a
 // deterministic noise source derived from seed.
 func NewRunner(m *machine.Machine, mem *Memory, seed int64) *Runner {
@@ -172,40 +193,18 @@ func NewRunner(m *machine.Machine, mem *Memory, seed int64) *Runner {
 		Mach:  m,
 		Mem:   mem,
 		Cache: cache.NewHierarchy(m),
-		pred:  make(map[*Version][]uint8),
+		plans: make(map[*Version]*vplan),
+		epoch: 1,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
 // ResetMicroarch clears cache and predictor state (start of a program run).
+// Predictor slices are not reallocated: bumping the epoch makes each plan
+// re-initialize its counters in place (zero + static hints) on next use.
 func (r *Runner) ResetMicroarch() {
 	r.Cache.Reset()
-	r.pred = make(map[*Version][]uint8)
-}
-
-// predictor returns the branch-counter slice for v, creating it cold with
-// static hints applied when the version was built with StaticPredict.
-func (r *Runner) predictor(v *Version) []uint8 {
-	if p, ok := r.pred[v]; ok {
-		return p
-	}
-	p := make([]uint8, len(v.LF.Blocks))
-	if v.Mods.StaticPredict {
-		for i, b := range v.LF.Blocks {
-			if b.Term.Kind == ir.TermBranch {
-				switch {
-				case b.Term.Likely > 0:
-					p[i] = 3
-				case b.Term.Likely < 0:
-					p[i] = 0
-				default:
-					p[i] = 1
-				}
-			}
-		}
-	}
-	r.pred[v] = p
-	return p
+	r.epoch++
 }
 
 // ErrRuntime wraps simulated program errors (bounds, division by zero).
@@ -213,20 +212,28 @@ var ErrRuntime = errors.New("simulated runtime error")
 
 // Run executes version v with the given scalar arguments and returns its
 // return value (NaN if none) and execution statistics.
+//
+// The first Run of a version on this runner decodes it into a dispatch
+// plan (plan.go); subsequent Runs reuse the plan, so the interpreter loop
+// performs no map lookups or operand re-decoding per invocation.
 func (r *Runner) Run(v *Version, args []float64) (float64, RunStats, error) {
+	p := r.plan(v)
 	stats := RunStats{}
 	if r.CollectBlockCounts {
 		stats.BlockCounts = make([]int64, v.NumOrigins)
 	}
-	if v.LF.NumCounters > 0 {
-		stats.Counters = make([]int64, v.LF.NumCounters)
+	if p.numCounters > 0 {
+		// Freshly allocated per run: callers retain Counters across runs.
+		stats.Counters = make([]int64, p.numCounters)
 	}
 	maxSteps := r.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 100_000_000
 	}
-	ex := &execState{r: r, stats: &stats, maxSteps: maxSteps}
-	ret, cycles, err := ex.exec(v, args, 0)
+	ex := &r.ex
+	ex.r, ex.stats, ex.steps, ex.maxSteps = r, &stats, 0, maxSteps
+	ret, cycles, err := ex.exec(p, args, 0)
+	ex.stats = nil
 	stats.Cycles = cycles
 	return ret, stats, err
 }
@@ -240,17 +247,17 @@ type execState struct {
 
 const maxCallDepth = 16
 
-func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64, error) {
+func (ex *execState) exec(p *vplan, args []float64, depth int) (float64, int64, error) {
 	if depth > maxCallDepth {
 		return 0, 0, fmt.Errorf("%w: call depth exceeded", ErrRuntime)
 	}
 	r := ex.r
-	m := r.Mach
-	lf := v.LF
+	p.sync(r)
+	lf := p.v.LF
 	regs, ready := r.frame(depth, lf.NumRegs)
 	ai := 0
-	for i, p := range lf.Params {
-		if p.IsArray {
+	for i, prm := range lf.Params {
+		if prm.IsArray {
 			continue
 		}
 		if ai < len(args) && lf.ParamRegs[i] != ir.NoReg {
@@ -259,35 +266,24 @@ func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64
 		ai++
 	}
 
-	idx := v.index()
-	pred := r.predictor(v)
-	spilled := v.Alloc.Spilled
+	blocks := p.blocks
+	pred := p.pred
+	perBlockFetch := p.perBlockFetch
 	var cycle int64
 	var fetchPenalty float64
-	overflow := 0
-	if total := v.CodeSize + v.Mods.CodeSizeExtra; total > m.ICacheInstrs {
-		overflow = total - m.ICacheInstrs
-	}
-	perBlockFetch := 0.0
-	if overflow > 0 {
-		perBlockFetch = m.FetchPenalty * float64(overflow) / float64(m.ICacheInstrs)
-	}
 
 	cur := 0 // slice index of current block
 	for {
-		b := lf.Blocks[cur]
-		if depth == 0 && b.Origin >= 0 && b.Origin < len(ex.stats.BlockCounts) {
-			ex.stats.BlockCounts[b.Origin]++
+		b := &blocks[cur]
+		if depth == 0 && b.origin >= 0 && b.origin < len(ex.stats.BlockCounts) {
+			ex.stats.BlockCounts[b.origin]++
 		}
 		fetchPenalty += perBlockFetch
 
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
-			if in.Op == ir.LNop {
-				continue
-			}
-			if in.Op == ir.LCount {
-				if c := int(in.Imm); c >= 0 && c < len(ex.stats.Counters) {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			if in.op == ir.LCount {
+				if c := int(in.imm); c >= 0 && c < len(ex.stats.Counters) {
 					ex.stats.Counters[c]++
 				}
 				continue
@@ -295,155 +291,122 @@ func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64
 			ex.steps++
 			ex.stats.Instrs++
 			if ex.steps > ex.maxSteps {
-				return 0, cycle, fmt.Errorf("%w: step limit exceeded in %s", ErrRuntime, lf.Name)
+				return 0, cycle, fmt.Errorf("%w: step limit exceeded in %s", ErrRuntime, p.name)
 			}
 
-			// Issue: stall until operands are ready; add spill loads.
+			// Issue: stall until operands are ready. Spill loads, call
+			// linkage and intrinsic costs are folded into in.cost.
 			issue := cycle
-			cost := m.OpCost[in.Op]
+			cost := in.cost
 			var extraLat int64
-			switch in.Op {
-			case ir.LMovI, ir.LMovF:
-			case ir.LCall:
-				for _, u := range in.CallArgs {
-					if ready[u] > issue {
-						issue = ready[u]
-					}
-					if spilled[u] {
-						cost += m.SpillLoadCost
-					}
-				}
-			default:
-				if in.A != ir.NoReg {
-					if ready[in.A] > issue {
-						issue = ready[in.A]
-					}
-					if spilled[in.A] {
-						cost += m.SpillLoadCost
-					}
-				}
-				if in.B != ir.NoReg {
-					if ready[in.B] > issue {
-						issue = ready[in.B]
-					}
-					if spilled[in.B] {
-						cost += m.SpillLoadCost
-					}
-				}
-				if in.Src != ir.NoReg {
-					if ready[in.Src] > issue {
-						issue = ready[in.Src]
-					}
-					if spilled[in.Src] {
-						cost += m.SpillLoadCost
-					}
+			for _, u := range in.uses {
+				if ready[u] > issue {
+					issue = ready[u]
 				}
 			}
 
 			var val float64
-			switch in.Op {
+			switch in.op {
 			case ir.LMovI:
-				val = float64(in.Imm)
+				val = float64(in.imm)
 			case ir.LMovF:
-				val = in.FImm
+				val = in.fimm
 			case ir.LMov:
-				val = regs[in.A]
+				val = regs[in.a]
 			case ir.LAdd, ir.LFAdd:
-				val = regs[in.A] + regs[in.B]
+				val = regs[in.a] + regs[in.b]
 			case ir.LSub, ir.LFSub:
-				val = regs[in.A] - regs[in.B]
+				val = regs[in.a] - regs[in.b]
 			case ir.LMul, ir.LFMul:
-				val = regs[in.A] * regs[in.B]
+				val = regs[in.a] * regs[in.b]
 			case ir.LFDiv:
-				val = regs[in.A] / regs[in.B]
+				val = regs[in.a] / regs[in.b]
 			case ir.LDiv:
-				d := int64(regs[in.B])
+				d := int64(regs[in.b])
 				if d == 0 {
-					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, lf.Name)
+					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, p.name)
 				}
-				val = float64(int64(regs[in.A]) / d)
+				val = float64(int64(regs[in.a]) / d)
 			case ir.LMod:
-				d := int64(regs[in.B])
+				d := int64(regs[in.b])
 				if d == 0 {
-					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, lf.Name)
+					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, p.name)
 				}
-				val = float64(int64(regs[in.A]) % d)
+				val = float64(int64(regs[in.a]) % d)
 			case ir.LAnd:
-				val = float64(int64(regs[in.A]) & int64(regs[in.B]))
+				val = float64(int64(regs[in.a]) & int64(regs[in.b]))
 			case ir.LOr:
-				val = float64(int64(regs[in.A]) | int64(regs[in.B]))
+				val = float64(int64(regs[in.a]) | int64(regs[in.b]))
 			case ir.LXor:
-				val = float64(int64(regs[in.A]) ^ int64(regs[in.B]))
+				val = float64(int64(regs[in.a]) ^ int64(regs[in.b]))
 			case ir.LShl:
-				val = float64(int64(regs[in.A]) << (uint64(int64(regs[in.B])) & 63))
+				val = float64(int64(regs[in.a]) << (uint64(int64(regs[in.b])) & 63))
 			case ir.LShr:
-				val = float64(int64(regs[in.A]) >> (uint64(int64(regs[in.B])) & 63))
+				val = float64(int64(regs[in.a]) >> (uint64(int64(regs[in.b])) & 63))
 			case ir.LNeg, ir.LFNeg:
-				val = -regs[in.A]
+				val = -regs[in.a]
 			case ir.LNot:
-				if regs[in.A] == 0 {
+				if regs[in.a] == 0 {
 					val = 1
 				}
 			case ir.LCmpEq, ir.LFCmpEq:
-				val = b2f(regs[in.A] == regs[in.B])
+				val = b2f(regs[in.a] == regs[in.b])
 			case ir.LCmpNe, ir.LFCmpNe:
-				val = b2f(regs[in.A] != regs[in.B])
+				val = b2f(regs[in.a] != regs[in.b])
 			case ir.LCmpLt, ir.LFCmpLt:
-				val = b2f(regs[in.A] < regs[in.B])
+				val = b2f(regs[in.a] < regs[in.b])
 			case ir.LCmpLe, ir.LFCmpLe:
-				val = b2f(regs[in.A] <= regs[in.B])
+				val = b2f(regs[in.a] <= regs[in.b])
 			case ir.LCmpGt, ir.LFCmpGt:
-				val = b2f(regs[in.A] > regs[in.B])
+				val = b2f(regs[in.a] > regs[in.b])
 			case ir.LCmpGe, ir.LFCmpGe:
-				val = b2f(regs[in.A] >= regs[in.B])
+				val = b2f(regs[in.a] >= regs[in.b])
 			case ir.LSelect:
-				if regs[in.A] != 0 {
-					val = regs[in.B]
+				if regs[in.a] != 0 {
+					val = regs[in.b]
 				} else {
-					val = regs[in.Src]
+					val = regs[in.src]
 				}
 			case ir.LLoad:
-				arr, err := r.Mem.array(in.Arr)
-				if err != nil {
-					return 0, cycle, err
+				arr := in.arr
+				if arr == nil {
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
 				}
-				i64 := int64(regs[in.A])
+				i64 := int64(regs[in.a])
 				if i64 < 0 || i64 >= int64(len(arr.Data)) {
 					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
-						ErrRuntime, in.Arr, i64, len(arr.Data), lf.Name)
+						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
 				}
 				val = arr.Data[i64]
 				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
 			case ir.LStore:
-				arr, err := r.Mem.array(in.Arr)
-				if err != nil {
-					return 0, cycle, err
+				arr := in.arr
+				if arr == nil {
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
 				}
-				i64 := int64(regs[in.A])
+				i64 := int64(regs[in.a])
 				if i64 < 0 || i64 >= int64(len(arr.Data)) {
 					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
-						ErrRuntime, in.Arr, i64, len(arr.Data), lf.Name)
+						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
 				}
 				if r.RecordWrites {
-					r.WriteLog = append(r.WriteLog, WriteRec{Arr: in.Arr, Idx: i64, Old: arr.Data[i64]})
+					r.WriteLog = append(r.WriteLog, WriteRec{Arr: in.arrName, Idx: i64, Old: arr.Data[i64]})
 				}
-				arr.Data[i64] = regs[in.Src]
-				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
+				arr.Data[i64] = regs[in.src]
+				// Store completion can overlap with later work: the access
+				// updates cache state but charges no latency here.
+				r.Cache.Access(arr.Base + uint64(i64)*8)
 			case ir.LCall:
-				callArgs := make([]float64, len(in.CallArgs))
-				for k, ar := range in.CallArgs {
+				callArgs := r.callBuf(depth, len(in.callArgs))
+				for k, ar := range in.callArgs {
 					callArgs[k] = regs[ar]
 				}
-				cost += int64(float64(m.CallOverhead) * v.Mods.CallOverheadFactor)
-				if _, ok := ir.IsIntrinsic(in.Fn); ok {
-					val = intrinsic(in.Fn, callArgs)
-					cost += m.IntrinsicCost
+				if in.intr {
+					val = intrinsic(in.fn, callArgs)
+				} else if in.callee == nil {
+					return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, in.fn)
 				} else {
-					callee, ok := v.Callees[in.Fn]
-					if !ok {
-						return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, in.Fn)
-					}
-					rv, ccycles, err := ex.exec(callee, callArgs, depth+1)
+					rv, ccycles, err := ex.exec(in.callee, callArgs, depth+1)
 					if err != nil {
 						return 0, cycle, err
 					}
@@ -452,46 +415,38 @@ func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64
 				}
 			}
 
-			if d := in.Def(); d != ir.NoReg {
+			if d := in.def; d != ir.NoReg {
 				regs[d] = val
-				ready[d] = issue + cost + m.OpLatency[in.Op] + extraLat
-				if spilled[d] {
-					cost += m.SpillStoreCost
-				}
-			} else if in.Op == ir.LStore {
-				// Store completion can overlap; charge only issue cost.
-				_ = extraLat
+				ready[d] = issue + cost + in.lat + extraLat
+				cost += in.storeCost
 			}
 			cycle = issue + cost
 		}
 
 		// Terminator.
-		t := &b.Term
-		switch t.Kind {
+		switch b.termKind {
 		case ir.TermReturn:
 			total := cycle + int64(fetchPenalty)
-			if t.Val != ir.NoReg {
-				return regs[t.Val], total, nil
+			if b.val != ir.NoReg {
+				return regs[b.val], total, nil
 			}
 			return math.NaN(), total, nil
 		case ir.TermJump:
-			next := idx[t.Then]
+			next := b.thenIdx
 			if next != cur+1 {
-				cycle += int64(float64(m.TakenBranchCost) * v.Mods.TakenBranchFactor)
+				cycle += p.takenCost
 			}
 			cur = next
 		case ir.TermBranch:
-			if ready[t.Cond] > cycle {
-				cycle = ready[t.Cond]
+			if ready[b.cond] > cycle {
+				cycle = ready[b.cond]
 			}
-			if spilled[t.Cond] {
-				cycle += m.SpillLoadCost
-			}
-			taken := regs[t.Cond] != 0
+			cycle += b.condCost
+			taken := regs[b.cond] != 0
 			state := pred[cur]
 			predTaken := state >= 2
 			if predTaken != taken {
-				cycle += m.MispredictPenalty
+				cycle += p.mispredict
 			}
 			if taken && state < 3 {
 				state++
@@ -502,12 +457,12 @@ func (ex *execState) exec(v *Version, args []float64, depth int) (float64, int64
 
 			var next int
 			if taken {
-				next = idx[t.Then]
+				next = b.thenIdx
 			} else {
-				next = idx[t.Else]
+				next = b.elseIdx
 			}
 			if next != cur+1 {
-				cycle += int64(float64(m.TakenBranchCost) * v.Mods.TakenBranchFactor)
+				cycle += p.takenCost
 			}
 			cur = next
 		}

@@ -1,0 +1,149 @@
+// Package vcache provides a concurrency-safe, content-addressed cache of
+// compiled, frozen sim.Versions.
+//
+// Tuning recompiles the same flag sets constantly: Iterative Elimination
+// re-rates the base set every round, later rounds re-add previously dropped
+// flags, and experiment drivers tune the same benchmark under several
+// methods. The cache makes each distinct compilation happen exactly once
+// per (program, function, flag set, machine) — and, one level deeper,
+// stores only one Version per distinct *generated code*: flag sets that
+// compile to identical LIR (by Fingerprint) share a single frozen Version.
+//
+// Determinism: compilation runs under the cache lock and the compiler
+// itself is deterministic, so the cache's contents — and its Misses/Shared
+// totals — depend only on the set of keys requested, never on request
+// order or worker count. Hits/Lookups totals are likewise
+// scheduling-independent because each tuning job performs a fixed sequence
+// of lookups. Cached versions are frozen before publication and never
+// mutated afterwards; per-runner state (decode plans, predictor counters)
+// lives in each job's sim.Runner, not in the shared Version.
+package vcache
+
+import (
+	"fmt"
+	"sync"
+
+	"peak/internal/opt"
+	"peak/internal/sim"
+)
+
+// Key identifies one compilation: program identity (ProgramKey over the
+// HIR), the function being compiled, the canonical flag-set fingerprint
+// (opt.FlagSet is a canonical bitset, so the value is its own fingerprint),
+// and the target machine.
+type Key struct {
+	Prog    uint64
+	Fn      string
+	Flags   opt.FlagSet
+	Machine string
+}
+
+// codeKey addresses generated code rather than requested flags: two Keys
+// whose compilations fingerprint identically map to the same codeKey.
+type codeKey struct {
+	prog    uint64
+	fn      string
+	machine string
+	fp      uint64
+}
+
+type entry struct {
+	v  *sim.Version
+	fp uint64
+	// shared marks entries whose code was first compiled under a different
+	// flag set (content-dedup alias). Recorded per key at insert time, so
+	// hits report the same value every time.
+	shared bool
+}
+
+// Stats is a snapshot of the cache's counters. All totals are
+// scheduling-independent (see the package comment).
+type Stats struct {
+	// Lookups is the number of GetOrCompile calls; Hits the calls answered
+	// without compiling; Misses the compilations performed.
+	Lookups int64
+	Hits    int64
+	Misses  int64
+	// Shared counts compilations whose generated code matched an existing
+	// entry's fingerprint, so the compiled result was discarded and the
+	// existing frozen Version reused.
+	Shared int64
+	// Entries is the number of distinct flag-set keys resident; Versions
+	// the number of distinct code bodies backing them; Bytes their
+	// estimated footprint.
+	Entries  int64
+	Versions int64
+	Bytes    int64
+}
+
+// Summary formats the stats in the style of sched.Stats.Summary.
+func (s Stats) Summary() string {
+	return fmt.Sprintf("vcache: %d lookups, %d hits, %d compiles (%d shared code), %d entries / %d versions, ~%d KiB",
+		s.Lookups, s.Hits, s.Misses, s.Shared, s.Entries, s.Versions, s.Bytes/1024)
+}
+
+// Cache is a concurrency-safe compile cache. The zero value is not usable;
+// use New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	byCode  map[codeKey]*entry
+	stats   Stats
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		entries: make(map[Key]*entry),
+		byCode:  make(map[codeKey]*entry),
+	}
+}
+
+// GetOrCompile returns the frozen version for key, invoking compile at most
+// once per distinct key. The returned fingerprint identifies the generated
+// code (Fingerprint); shared reports whether this key's code is aliased to
+// a Version first compiled under a different flag set.
+//
+// compile runs under the cache lock: concurrent requesters of the same key
+// block until the first finishes, so exactly one compilation happens and
+// the miss count equals the number of distinct keys — independent of
+// scheduling. Compile errors are returned and not cached.
+func (c *Cache) GetOrCompile(key Key, compile func() (*sim.Version, error)) (v *sim.Version, fp uint64, shared bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		return e.v, e.fp, e.shared, nil
+	}
+	c.stats.Misses++
+	nv, err := compile()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	nv.Freeze()
+	nfp := Fingerprint(nv)
+	ck := codeKey{key.Prog, key.Fn, key.Machine, nfp}
+	e, ok := c.byCode[ck]
+	if ok {
+		// Identical generated code under a different flag set: alias the
+		// existing frozen Version and drop the fresh compilation.
+		c.stats.Shared++
+		e = &entry{v: e.v, fp: e.fp, shared: true}
+	} else {
+		e = &entry{v: nv, fp: nfp}
+		c.byCode[ck] = e
+		c.stats.Versions++
+		c.stats.Bytes += versionBytes(nv, map[*sim.Version]bool{})
+	}
+	c.entries[key] = e
+	c.stats.Entries++
+	return e.v, e.fp, e.shared, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,167 @@
+package vcache
+
+import (
+	"sync"
+	"testing"
+
+	"peak/internal/machine"
+	"peak/internal/opt"
+	"peak/internal/sim"
+	"peak/internal/workloads"
+)
+
+func compileBench(t *testing.T, name string) (key func(fs opt.FlagSet) Key, compile func(fs opt.FlagSet) func() (*sim.Version, error)) {
+	t.Helper()
+	b, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s not found", name)
+	}
+	m := machine.SPARCII()
+	pk := ProgramKey(b.Prog)
+	key = func(fs opt.FlagSet) Key {
+		return Key{Prog: pk, Fn: b.TSName, Flags: fs, Machine: m.Name}
+	}
+	compile = func(fs opt.FlagSet) func() (*sim.Version, error) {
+		return func() (*sim.Version, error) {
+			return opt.Compile(b.Prog, b.TS, fs, m)
+		}
+	}
+	return key, compile
+}
+
+func TestGetOrCompileHitReturnsSameVersion(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	v1, fp1, _, err := c.GetOrCompile(key(opt.O3()), compile(opt.O3()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, fp2, _, err := c.GetOrCompile(key(opt.O3()), compile(opt.O3()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || fp1 != fp2 {
+		t.Fatalf("cache hit returned a different version (%p vs %p) or fingerprint (%x vs %x)", v1, v2, fp1, fp2)
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 lookups / 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("expected positive byte estimate, got %d", st.Bytes)
+	}
+}
+
+func TestContentDedupSharesIdenticalCode(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	base := opt.O3()
+	bv, bfp, _, err := c.GetOrCompile(key(base), compile(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]*sim.Version{bfp: bv}
+	sharedFlags := 0
+	for _, f := range opt.AllFlags() {
+		fs := base.Without(f)
+		v, fp, shared, err := c.GetOrCompile(key(fs), compile(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[fp]; ok {
+			if !shared {
+				t.Fatalf("flag %s: fingerprint seen before but shared=false", f)
+			}
+			if v != prev {
+				t.Fatalf("flag %s: identical fingerprint but distinct version pointer", f)
+			}
+			sharedFlags++
+		} else {
+			if v == bv {
+				t.Fatalf("flag %s: distinct fingerprint but aliased to base version", f)
+			}
+			seen[fp] = v
+		}
+	}
+	st := c.Stats()
+	if int(st.Shared) != sharedFlags {
+		t.Fatalf("stats.Shared = %d, want %d", st.Shared, sharedFlags)
+	}
+	if sharedFlags == 0 {
+		t.Fatal("expected at least one flag to be a code no-op on SWIM")
+	}
+	if st.Versions >= st.Entries {
+		t.Fatalf("expected fewer versions (%d) than entries (%d)", st.Versions, st.Entries)
+	}
+}
+
+func TestProgramKeyStableAcrossCloneAndSensitiveToEdits(t *testing.T) {
+	b, _ := workloads.ByName("MCF")
+	k1 := ProgramKey(b.Prog)
+	if k2 := ProgramKey(b.Prog.Clone()); k1 != k2 {
+		t.Fatalf("clone changed program key: %x vs %x", k1, k2)
+	}
+	mutated := b.Prog.Clone()
+	mutated.AddScalar("__vcache_probe", 0)
+	if k3 := ProgramKey(mutated); k3 == k1 {
+		t.Fatal("adding a scalar did not change the program key")
+	}
+}
+
+func TestFingerprintIgnoresLabel(t *testing.T) {
+	_, compile := compileBench(t, "SWIM")
+	v1, err := compile(opt.O3())()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := compile(opt.O3())()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2.Label = "something else entirely"
+	if Fingerprint(v1) != Fingerprint(v2) {
+		t.Fatal("fingerprint depends on Label")
+	}
+}
+
+func TestConcurrentGetOrCompile(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	flags := []opt.FlagSet{opt.O3()}
+	for _, f := range opt.AllFlags()[:8] {
+		flags = append(flags, opt.O3().Without(f))
+	}
+	const goroutines = 8
+	got := make([][]*sim.Version, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*sim.Version, len(flags))
+			for i, fs := range flags {
+				v, _, _, err := c.GetOrCompile(key(fs), compile(fs))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[g][i] = v
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range flags {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d got a different version for flags[%d]", g, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != int64(len(flags)) {
+		t.Fatalf("misses = %d, want %d (one compile per distinct key)", st.Misses, len(flags))
+	}
+	if st.Lookups != int64(goroutines*len(flags)) {
+		t.Fatalf("lookups = %d, want %d", st.Lookups, goroutines*len(flags))
+	}
+}

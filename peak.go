@@ -44,6 +44,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
 
@@ -97,6 +98,15 @@ type (
 	NoiseModel = noise.Model
 	// NoiseRegime is a named noise model from the sensitivity sweep.
 	NoiseRegime = experiments.NoiseRegime
+	// VersionCache is a concurrency-safe, content-addressed compile cache.
+	// Pass one (via Tuner-level helpers like TuneBenchmarkCached or
+	// experiments.Figure7OnCached) to share compiled versions across tuning
+	// processes; results are bit-identical with or without it. Caching is on
+	// by default inside each tuning process — the shared cache only widens
+	// its scope. Config.NoCompileCache disables caching entirely.
+	VersionCache = vcache.Cache
+	// VersionCacheStats is a snapshot of a cache's counters.
+	VersionCacheStats = vcache.Stats
 )
 
 // Rating methods.
@@ -125,6 +135,10 @@ func BenchmarkByName(name string) (*Benchmark, bool) { return workloads.ByName(n
 
 // BenchmarkNames lists the workload names in Table-1 order.
 func BenchmarkNames() []string { return workloads.Names() }
+
+// Figure7Benchmarks returns the paper's Figure-7 benchmark set (SWIM,
+// MGRID, ART, EQUAKE).
+func Figure7Benchmarks() []*Benchmark { return workloads.Figure7Set() }
 
 // DefaultConfig mirrors the paper's operating point.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -166,6 +180,17 @@ func TuneBenchmark(b *Benchmark, m *Machine, cfg *Config) (*TuneResult, error) {
 // TuneBenchmarkOn is TuneBenchmark with the candidate ratings of every
 // Iterative Elimination round sharded across pool (nil means serial).
 func TuneBenchmarkOn(b *Benchmark, m *Machine, cfg *Config, pool Pool) (*TuneResult, error) {
+	return TuneBenchmarkCached(b, m, cfg, pool, nil)
+}
+
+// NewVersionCache returns an empty compile cache for sharing across tuning
+// processes (see VersionCache).
+func NewVersionCache() *VersionCache { return vcache.New() }
+
+// TuneBenchmarkCached is TuneBenchmarkOn resolving compilations through a
+// shared cache (nil keeps the tune's private cache). The result is
+// bit-identical for any cache value and worker count.
+func TuneBenchmarkCached(b *Benchmark, m *Machine, cfg *Config, pool Pool, cache *VersionCache) (*TuneResult, error) {
 	c := DefaultConfig()
 	if cfg != nil {
 		c = *cfg
@@ -174,7 +199,7 @@ func TuneBenchmarkOn(b *Benchmark, m *Machine, cfg *Config, pool Pool) (*TuneRes
 	if err != nil {
 		return nil, err
 	}
-	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p, Pool: pool}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p, Pool: pool, Cache: cache}
 	return t.Tune()
 }
 
