@@ -48,6 +48,10 @@ func main() {
 	rows, err := peak.Table1On(m, &cfg, pool)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)
+		if len(rows) > 0 {
+			fmt.Fprintf(os.Stderr, "peak-consistency: flushing %d partial row(s)\n", len(rows))
+			fmt.Print(experiments.FormatTable1(rows, experiments.PaperWindows))
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("Table 1: consistency of rating approaches on %s\n", m.Name)

@@ -7,6 +7,17 @@
 // (results_noise.txt): rating consistency and winner-picking reliability
 // under the baseline, gauss4x, spikes, drift and bursts noise regimes.
 //
+// With -faults it regenerates the robustness report (results_faults.txt):
+// the Figure-7 tuning protocol re-run under deterministic fault injection
+// (compile failures, miscompiles, measurement hangs, job panics), each
+// bar's winner compared against its fault-free twin.
+//
+// Long runs can checkpoint after every tuning round with -checkpoint; a
+// killed run is continued bit-for-bit with -resume (same flags otherwise).
+// On SIGINT the journal is synced and the resume command printed before
+// exiting with status 130. On any error the results computed so far are
+// still flushed before the nonzero exit.
+//
 // Usage:
 //
 //	peak-experiments                  # both machines (fig 7 a–d)
@@ -14,12 +25,16 @@
 //	peak-experiments -workers 8       # sharded; output identical to -workers 1
 //	peak-experiments -headline        # the abstract's summary numbers
 //	peak-experiments -noise           # rating error vs noise regime
+//	peak-experiments -faults          # tuning under injected faults
+//	peak-experiments -checkpoint run.jsonl   # journal every round
+//	peak-experiments -resume run.jsonl       # continue a killed run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"peak"
@@ -35,6 +50,11 @@ func main() {
 	noiseRep := flag.Bool("noise", false, "regenerate the noise-sensitivity report instead of Figure 7")
 	noCache := flag.Bool("nocache", false, "disable the compile cache (A/B check; output is identical either way)")
 	cacheStats := flag.Bool("cachestats", false, "print compile-cache statistics to stderr (Figure 7 mode)")
+	faultsRep := flag.Bool("faults", false, "regenerate the fault-injection robustness report instead of Figure 7")
+	faultRate := flag.Float64("faultrate", 0.05, "uniform fault rate for -faults (miscompiles injected at rate/10)")
+	faultSeed := flag.Int64("faultseed", 2023, "fault-injection seed for -faults")
+	checkpoint := flag.String("checkpoint", "", "checkpoint journal path: save resumable state after every tuning round")
+	resume := flag.String("resume", "", "resume from an existing checkpoint journal (pass the same other flags)")
 	flag.Parse()
 
 	var machines []*peak.Machine
@@ -50,10 +70,58 @@ func main() {
 		machines = []*peak.Machine{m}
 	}
 
+	// -resume requires an existing journal; -checkpoint reuses one if the
+	// file already holds state (so a killed -checkpoint run can simply be
+	// re-invoked) and creates it otherwise.
+	journalPath := *checkpoint
+	if *resume != "" {
+		journalPath = *resume
+	}
+	var journal *peak.Journal
+	if journalPath != "" {
+		var err error
+		if _, statErr := os.Stat(journalPath); statErr == nil {
+			journal, err = peak.OpenJournal(journalPath)
+		} else if *resume != "" {
+			err = fmt.Errorf("-resume %s: %w", journalPath, statErr)
+		} else {
+			journal, err = peak.NewJournal(journalPath)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		// A SIGINT mid-run is the checkpoint layer's reason to exist:
+		// sync what the journal holds and tell the user how to continue.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			journal.Sync()
+			fmt.Fprintf(os.Stderr, "\npeak-experiments: interrupted; checkpoint journal %s synced\n", journalPath)
+			fmt.Fprintf(os.Stderr, "peak-experiments: continue with: peak-experiments -resume %s (plus the same flags)\n", journalPath)
+			os.Exit(130)
+		}()
+	}
+
 	pool := peak.NewPool(*workers)
 	stopProgress := func() {}
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
+	}
+	finish := func(code int) {
+		stopProgress()
+		if *progress {
+			fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+		}
+		if journal != nil {
+			journal.Sync()
+			journal.Close()
+			if code != 0 {
+				fmt.Fprintf(os.Stderr, "peak-experiments: continue with: peak-experiments -resume %s (plus the same flags)\n", journalPath)
+			}
+		}
+		os.Exit(code)
 	}
 
 	cfg := peak.DefaultConfig()
@@ -64,18 +132,34 @@ func main() {
 			report, err := peak.NoiseReport(m, &cfg, pool)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
-				os.Exit(1)
+				finish(1)
 			}
 			if i > 0 {
 				fmt.Println()
 			}
 			fmt.Print(report)
 		}
-		stopProgress()
-		if *progress {
-			fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+		finish(0)
+	}
+
+	if *faultsRep {
+		plan := peak.UniformFaults(*faultRate, *faultSeed)
+		for i, m := range machines {
+			bars, err := peak.FaultReportBars(peak.Figure7Benchmarks(), m, &cfg, plan, pool, journal)
+			if i > 0 {
+				fmt.Println()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
+				if len(bars) > 0 {
+					fmt.Fprintf(os.Stderr, "peak-experiments: flushing %d completed bar(s)\n", len(bars))
+					fmt.Print(experiments.FormatFaultReport(bars, m.Name, plan))
+				}
+				finish(1)
+			}
+			fmt.Print(experiments.FormatFaultReport(bars, m.Name, plan))
 		}
-		return
+		finish(0)
 	}
 
 	// One compile cache shared across machines: compilations are keyed by
@@ -87,10 +171,14 @@ func main() {
 	}
 	var all []peak.Fig7Entry
 	for _, m := range machines {
-		entries, err := experiments.Figure7OnCached(peak.Figure7Benchmarks(), m, &cfg, pool, cache)
+		entries, err := experiments.Figure7Journaled(peak.Figure7Benchmarks(), m, &cfg, pool, cache, journal)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
-			os.Exit(1)
+			if len(entries) > 0 {
+				fmt.Fprintf(os.Stderr, "peak-experiments: flushing %d completed entr(ies)\n", len(entries))
+				fmt.Print(experiments.FormatFigure7(entries, m.Name))
+			}
+			finish(1)
 		}
 		fmt.Print(experiments.FormatFigure7(entries, m.Name))
 		fmt.Println()
@@ -108,8 +196,5 @@ func main() {
 		fmt.Printf("  tuning-time reduction vs WHL: up to %.0f%% (%.0f%% on average)\n",
 			100*h.MaxReduction, 100*h.AvgReduction)
 	}
-	stopProgress()
-	if *progress {
-		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
-	}
+	finish(0)
 }

@@ -32,6 +32,9 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		listFlags = flag.Bool("list-flags", false, "list the 38 tunable optimization flags and exit")
 		noCache   = flag.Bool("nocache", false, "disable the compile cache (output is byte-identical either way)")
+		faults    = flag.Bool("faults", false, "tune under injected faults (compile failures, miscompiles, hangs, panics)")
+		faultRate = flag.Float64("faultrate", 0.05, "uniform fault rate for -faults (miscompiles injected at rate/10)")
+		faultSeed = flag.Int64("faultseed", 2023, "fault-injection seed for -faults")
 		verbose   = flag.Bool("v", false, "print profile and consultant details")
 	)
 	flag.Parse()
@@ -67,6 +70,9 @@ func main() {
 
 	cfg := peak.DefaultConfig()
 	cfg.NoCompileCache = *noCache
+	if *faults {
+		cfg.Faults = peak.UniformFaults(*faultRate, *faultSeed)
+	}
 	if *noiseName != "" {
 		regime, ok := peak.NoiseRegimeByName(m, *noiseName)
 		if !ok {
@@ -131,6 +137,11 @@ func main() {
 	// worker count and safe to print in the results body.
 	fmt.Printf("compile cache:  %d lookups, %d hits, %d compiles (%d shared code), %d ratings skipped by code dedup\n",
 		res.CacheLookups, res.CacheHits, res.CacheMisses, res.SharedCode, res.DedupSkips)
+	if *faults {
+		fmt.Printf("fault recovery: %d flag(s) quarantined as miscompiled %v\n", len(res.Quarantined), res.Quarantined)
+		fmt.Printf("                retries: %d compile, %d hung measurement, %d panicked job; %d verification invocations\n",
+			res.CompileRetries, res.MeasureRetries, res.JobRetries, res.VerifyInvocations)
+	}
 
 	base, _, err := peak.Measure(b, b.Ref, m, peak.O3())
 	if err != nil {

@@ -6,9 +6,11 @@ import (
 	"sort"
 
 	"peak/internal/bench"
+	"peak/internal/fault"
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/profiling"
+	"peak/internal/sched"
 	"peak/internal/sim"
 	"peak/internal/stats"
 	"peak/internal/vcache"
@@ -58,6 +60,13 @@ type AdaptiveResult struct {
 	// version; VersionsTried counts explored variants across contexts.
 	Adoptions     int
 	VersionsTried int
+	// Quarantined lists candidate flag sets whose compiled code failed
+	// golden-output verification under fault injection (in discovery
+	// order); their trials were abandoned without any production
+	// invocation running the miscompiled version. CompileRetries counts
+	// transient injected compile failures that were retried.
+	Quarantined    []opt.FlagSet
+	CompileRetries int
 }
 
 // ctxState is the per-context exploration state.
@@ -80,12 +89,58 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 	}
 	prog := a.Bench.Prog
 	versions := map[opt.FlagSet]*sim.Version{}
-	var progKey uint64
-	if a.Cache != nil {
-		progKey = vcache.ProgramKey(prog)
+	faults := a.Cfg.Faults
+	if faults.IsZero() {
+		faults = nil
 	}
-	version := func(fs opt.FlagSet) (*sim.Version, error) {
+	var progKey uint64
+	if a.Cache != nil || faults != nil {
+		// Fault decisions are keyed by compile identity, and corrupted
+		// artifacts must never collide with clean ones in a shared cache,
+		// so the program key is salted with the plan fingerprint.
+		progKey = vcache.ProgramKey(prog)
+		if faults != nil {
+			progKey ^= faults.Fingerprint()
+		}
+	}
+	verifySeed := a.Cfg.Seed ^ a.Bench.Seed(73)
+	quarantined := map[opt.FlagSet]bool{}
+	var golden *goldenRef
+	res := &AdaptiveResult{Winners: map[string]opt.FlagSet{}}
+
+	// version resolves fs, applying the fault plan when one is active:
+	// transient compile failures are retried (backoff charged to the run),
+	// miscompiles are injected by identity, and every non-base version is
+	// checked against the base "-O3" outputs before any production
+	// invocation may run it — a failed check quarantines the flag set.
+	var version func(fs opt.FlagSet) (v *sim.Version, quar bool, err error)
+	version = func(fs opt.FlagSet) (*sim.Version, bool, error) {
+		if quarantined[fs] {
+			return nil, true, nil
+		}
 		if v, ok := versions[fs]; ok {
+			return v, false, nil
+		}
+		idKey := fmt.Sprintf("%d/%s/%s/%s", progKey, a.Bench.TS.Name, fs, a.Mach.Name)
+		if faults != nil {
+			n := faults.CompileFailures(idKey)
+			if n > faults.CompileRetries() {
+				return nil, false, fmt.Errorf("compile %s: injected compiler crash persisted: %w",
+					fs, fault.ErrRetriesExhausted)
+			}
+			res.CompileRetries += n
+			for i := 0; i < n; i++ {
+				res.TotalCycles += faults.Backoff(i)
+			}
+		}
+		compile := func() (*sim.Version, error) {
+			v, err := opt.Compile(prog, a.Bench.TS, fs, a.Mach)
+			if err != nil {
+				return nil, err
+			}
+			if faults != nil && fs != opt.O3() && faults.Miscompiles(idKey) {
+				fault.Corrupt(v, sched.DeriveSeed(faults.Seed, "corrupt/"+idKey))
+			}
 			return v, nil
 		}
 		var v *sim.Version
@@ -93,15 +148,43 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 		if a.Cache != nil {
 			v, _, _, err = a.Cache.GetOrCompile(
 				vcache.Key{Prog: progKey, Fn: a.Bench.TS.Name, Flags: fs, Machine: a.Mach.Name},
-				func() (*sim.Version, error) { return opt.Compile(prog, a.Bench.TS, fs, a.Mach) })
+				compile)
 		} else {
-			v, err = opt.Compile(prog, a.Bench.TS, fs, a.Mach)
+			v, err = compile()
 		}
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if faults != nil && fs != opt.O3() {
+			if golden == nil {
+				base, _, berr := version(opt.O3())
+				if berr != nil {
+					return nil, false, berr
+				}
+				rets, snap, cyc, maxInstrs, gerr := runVerifyWorkload(a.Mach, prog, ds, verifySeed, base, 0)
+				if gerr != nil {
+					return nil, false, fmt.Errorf("golden reference run failed: %w", gerr)
+				}
+				res.TotalCycles += cyc
+				golden = &goldenRef{rets: rets, mem: snap, maxInstrs: maxInstrs}
+			}
+			maxSteps := golden.maxInstrs * verifyStepFactor
+			if maxSteps < 1_000_000 {
+				maxSteps = 1_000_000
+			}
+			rets, snap, cyc, _, rerr := runVerifyWorkload(a.Mach, prog, ds, verifySeed, v, maxSteps)
+			res.TotalCycles += cyc
+			if rerr != nil || !floatsClose(rets, golden.rets) || !memClose(snap, golden.mem) {
+				quarantined[fs] = true
+				res.Quarantined = append(res.Quarantined, fs)
+				if a.Cache != nil {
+					a.Cache.MarkQuarantined(vcache.Key{Prog: progKey, Fn: a.Bench.TS.Name, Flags: fs, Machine: a.Mach.Name})
+				}
+				return nil, true, nil
+			}
 		}
 		versions[fs] = v
-		return v, nil
+		return v, false, nil
 	}
 
 	rng := rand.New(rand.NewSource(a.Cfg.Seed ^ a.Bench.Seed(61)))
@@ -112,7 +195,6 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 	runner := sim.NewRunner(a.Mach, mem, a.Cfg.Seed^a.Bench.Seed(67))
 	clock := sim.NewClockWith(NoiseModelFor(&a.Cfg, a.Mach), a.Cfg.Seed^a.Bench.Seed(71))
 
-	res := &AdaptiveResult{Winners: map[string]opt.FlagSet{}}
 	states := map[string]*ctxState{}
 
 	for i := 0; i < ds.NumInvocations; i++ {
@@ -148,9 +230,20 @@ func (a *AdaptiveTuner) Run(ds *bench.Dataset) (*AdaptiveResult, error) {
 			fs = st.candidate
 		}
 
-		v, err := version(fs)
+		v, quar, err := version(fs)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive %s: %w", a.Bench.Name, err)
+		}
+		if quar {
+			// The candidate failed verification: abandon the trial and run
+			// the incumbent (which has always passed — "-O3" is exempt and
+			// adopted candidates were verified before their trials).
+			st.trying = false
+			fs = st.best
+			v, _, err = version(fs)
+			if err != nil {
+				return nil, fmt.Errorf("adaptive %s: %w", a.Bench.Name, err)
+			}
 		}
 		_, stRun, err := runner.Run(v, args)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"peak/internal/analysis"
 	"peak/internal/bench"
+	"peak/internal/fault"
 	"peak/internal/ir"
 	"peak/internal/machine"
 	"peak/internal/opt"
@@ -52,6 +53,15 @@ type Tuner struct {
 	// frozen before publication, and all per-execution state lives in
 	// per-job runners. Cfg.NoCompileCache disables caching entirely.
 	Cache *vcache.Cache
+
+	// Journal, when set, turns on checkpointing: the engine appends its
+	// state to the journal after every completed Iterative Elimination
+	// round, keyed by CheckpointID, and — if the journal already holds a
+	// record for that ID — resumes from it, producing a TuneResult
+	// byte-identical to an uninterrupted run. CheckpointID defaults to
+	// "bench/machine/method/dataset".
+	Journal      *fault.Journal
+	CheckpointID string
 }
 
 // TuneResult reports a finished tuning process.
@@ -100,6 +110,23 @@ type TuneResult struct {
 	// rated twin's rating).
 	SharedCode int
 	DedupSkips int
+
+	// Fault & recovery ledger (all zero when fault injection is off).
+	// Quarantined lists the flags whose one-flag-off candidate failed
+	// golden-output verification (miscompile detected) and was therefore
+	// removed from the search, in elimination order. CompileRetries counts
+	// injected transient compile failures absorbed by retry;
+	// MeasureRetries hung measurements killed and retried; JobRetries
+	// panicked rating jobs re-run under derived keys. VerifyInvocations is
+	// the number of TS invocations spent on golden-output verification
+	// (their simulated time is part of TuningCycles). Like every other
+	// field, these are scheduling-independent: fault decisions key on
+	// identities, never execution order.
+	Quarantined       []opt.Flag
+	CompileRetries    int
+	MeasureRetries    int
+	JobRetries        int
+	VerifyInvocations int64
 }
 
 // engine is the running state of one tuning process. Cross-job state is
@@ -132,6 +159,24 @@ type engine struct {
 
 	mu    sync.Mutex
 	local map[opt.FlagSet]versionInfo
+
+	// faults is the injection plan (nil when off). golden is the lazily
+	// built verification reference; journal/ckptID enable checkpointing;
+	// restoring suppresses counter accrual while a resume re-resolves the
+	// flag sets a previous process had already compiled and accounted.
+	faults    *fault.Plan
+	golden    *goldenRef
+	journal   *fault.Journal
+	ckptID    string
+	restoring bool
+	// Engine-level fault ledger, guarded by mu and folded into res when
+	// tuning finishes (workers must never touch res while jobs run). All
+	// of it is keyed by distinct flag-set resolutions, so it is
+	// independent of scheduling, caching and resume.
+	compileRetries int
+	faultCycles    int64 // compile-retry backoff time
+	verifyCycles   int64 // golden-output verification time
+	verifyInv      int64
 
 	res      *TuneResult
 	switched int
@@ -176,6 +221,14 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 		} else {
 			fps[vi.fp] = true
 		}
+	}
+	if e.faults != nil {
+		// Recovery overheads join the tuning-time ledger: verification runs
+		// and compile-retry backoff are simulated time the faulted tuning
+		// process really spends. Hang timeouts were charged per job.
+		e.res.TuningCycles += e.faultCycles + e.verifyCycles
+		e.res.CompileRetries = e.compileRetries
+		e.res.VerifyInvocations = e.verifyInv
 	}
 	return e.res, nil
 }
@@ -223,47 +276,123 @@ func (t *Tuner) newEngine() (*engine, error) {
 	// benchmarks and kept-counter sets share compilations, tunes whose
 	// instrumentation differs cannot collide.
 	e.progKey = vcache.ProgramKey(e.prog)
+	if f := cfg.Faults; !f.IsZero() {
+		e.faults = f
+		// Salt the program identity with the fault plan's fingerprint: a
+		// flag set miscompiled under this plan must never collide in a
+		// shared cache with the same flag set compiled cleanly (a fault-free
+		// tune, a different plan, or the final deployment compile).
+		e.progKey ^= f.Fingerprint()
+	}
+	e.journal = t.Journal
+	if e.journal != nil {
+		e.ckptID = t.CheckpointID
+		if e.ckptID == "" {
+			method := "auto"
+			if t.Force != nil {
+				method = t.Force.String()
+			}
+			e.ckptID = fmt.Sprintf("%s/%s/%s/%s", t.Bench.Name, t.Mach.Name, method, t.Dataset.Name)
+		}
+	}
 	return e, nil
 }
 
-// versionInfo is a resolved compilation: the frozen version and its code
-// fingerprint (vcache.Fingerprint).
+// versionInfo is a resolved compilation: the frozen version, its code
+// fingerprint (vcache.Fingerprint), and — with fault injection on —
+// whether golden-output verification flagged it as miscompiled.
 type versionInfo struct {
-	v  *sim.Version
-	fp uint64
+	v           *sim.Version
+	fp          uint64
+	quarantined bool
 }
 
-// version returns the compiled version of the TS under fs plus its code
-// fingerprint, compiling and freezing it on first use. The lock serializes
-// compilation, so exactly one Version exists per flag set no matter how
-// many jobs request it; with a shared cache, whichever tune compiles the
-// key first publishes the (deterministic) result for all.
-func (e *engine) version(fs opt.FlagSet) (*sim.Version, uint64, error) {
+// version returns the resolved compilation of the TS under fs, compiling,
+// freezing and (with faults on) verifying it on first use. The lock
+// serializes compilation, so exactly one Version exists per flag set no
+// matter how many jobs request it; with a shared cache, whichever tune
+// compiles the key first publishes the (deterministic) result for all.
+func (e *engine) version(fs opt.FlagSet) (versionInfo, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.lookups++
+	return e.resolveLocked(fs)
+}
+
+// resolveLocked is version() under an already-held e.mu. With fault
+// injection enabled it additionally:
+//
+//   - draws the flag set's injected transient compile failures — a pure
+//     function of the compile identity, so retry counts are independent of
+//     scheduling and caching — and absorbs them up to the retry bound,
+//     charging deterministic backoff time;
+//   - lets the plan miscompile the compilation (fault.Corrupt inside the
+//     compile closure, so a corrupted artifact is what lands in the cache
+//     under the plan-salted program key). The tuning base "-O3" is exempt:
+//     it is the trusted production baseline golden outputs come from;
+//   - verifies every non-base compilation against the golden reference and
+//     marks failures quarantined.
+func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
+	if !e.restoring {
+		e.lookups++
+	}
 	if vi, ok := e.local[fs]; ok {
-		return vi.v, vi.fp, nil
+		return vi, nil
+	}
+	var idKey string
+	if e.faults != nil {
+		idKey = fmt.Sprintf("%d/%s/%s/%s", e.progKey, e.ts.Name, fs, e.t.Mach.Name)
+		n := e.faults.CompileFailures(idKey)
+		if n > e.faults.CompileRetries() {
+			return versionInfo{}, fmt.Errorf("tune %s: compile %s: injected compiler crash persisted: %w",
+				e.t.Bench.Name, fs, fault.ErrRetriesExhausted)
+		}
+		if !e.restoring {
+			e.compileRetries += n
+			for i := 0; i < n; i++ {
+				e.faultCycles += e.faults.Backoff(i)
+			}
+		}
+	}
+	compile := func() (*sim.Version, error) {
+		v, err := opt.Compile(e.prog, e.ts, fs, e.t.Mach)
+		if err == nil && e.faults != nil && fs != opt.O3() && e.faults.Miscompiles(idKey) {
+			fault.Corrupt(v, sched.DeriveSeed(e.faults.Seed, "corrupt/"+idKey))
+		}
+		return v, err
 	}
 	var vi versionInfo
+	var key vcache.Key
 	if e.cache != nil {
-		v, fp, _, err := e.cache.GetOrCompile(
-			vcache.Key{Prog: e.progKey, Fn: e.ts.Name, Flags: fs, Machine: e.t.Mach.Name},
-			func() (*sim.Version, error) { return opt.Compile(e.prog, e.ts, fs, e.t.Mach) })
+		key = vcache.Key{Prog: e.progKey, Fn: e.ts.Name, Flags: fs, Machine: e.t.Mach.Name}
+		v, fp, _, err := e.cache.GetOrCompile(key, compile)
 		if err != nil {
-			return nil, 0, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+			return versionInfo{}, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
 		}
-		vi = versionInfo{v, fp}
+		vi = versionInfo{v: v, fp: fp}
 	} else {
-		v, err := opt.Compile(e.prog, e.ts, fs, e.t.Mach)
+		v, err := compile()
 		if err != nil {
-			return nil, 0, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
+			return versionInfo{}, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
 		}
 		v.Freeze()
-		vi = versionInfo{v, vcache.Fingerprint(v)}
+		vi = versionInfo{v: v, fp: vcache.Fingerprint(v)}
+	}
+	if e.faults != nil && fs != opt.O3() {
+		quarantined, cycles, inv, err := e.verifyLocked(vi.v)
+		if err != nil {
+			return versionInfo{}, err
+		}
+		vi.quarantined = quarantined
+		if !e.restoring {
+			e.verifyCycles += cycles
+			e.verifyInv += inv
+		}
+		if quarantined && e.cache != nil {
+			e.cache.MarkQuarantined(key)
+		}
 	}
 	e.local[fs] = vi
-	return vi.v, vi.fp, nil
+	return vi, nil
 }
 
 // ratingCtx is one rating job's private execution context: simulated
@@ -278,11 +407,17 @@ type ratingCtx struct {
 	clock  *sim.Clock
 	rng    *rand.Rand
 
+	// hangs is the job's measurement-hang fault stream (nil when fault
+	// injection is off); measureRetries counts the hung measurements this
+	// job killed and retried.
+	hangs          *fault.MeasureStream
+	measureRetries int
+
 	dsIdx     int
 	runActive bool
 	// invocations counts TS invocations consumed; cycles the simulated
-	// time (TS executions, RBR overheads, and for WHL the non-TS part of
-	// its dedicated runs).
+	// time (TS executions, RBR overheads, hang timeouts/backoff, and for
+	// WHL the non-TS part of its dedicated runs).
 	invocations int64
 	cycles      int64
 	// runs counts dedicated whole application runs (WHL only; shared-run
@@ -298,8 +433,24 @@ func (e *engine) newRatingCtx(jobKey string) *ratingCtx {
 		runner: sim.NewRunner(e.t.Mach, mem, sched.DeriveSeed(e.rootSeed, jobKey+"/runner")),
 		clock: sim.NewClockWith(NoiseModelFor(e.cfg, e.t.Mach),
 			sched.DeriveSeed(e.rootSeed, jobKey+"/clock")),
-		rng:    rand.New(rand.NewSource(sched.DeriveSeed(e.rootSeed, jobKey+"/data"))),
+		rng:   rand.New(rand.NewSource(sched.DeriveSeed(e.rootSeed, jobKey+"/data"))),
+		hangs: e.faults.MeasureStream(jobKey),
 	}
+}
+
+// hangBeforeMeasure draws the injected hang faults preceding one timed
+// measurement: each hang is detected by a watchdog timeout and retried
+// after deterministic backoff, all charged to the job's simulated time.
+// Returns fault.ErrRetriesExhausted (wrapped) when hangs persist past the
+// retry bound.
+func (c *ratingCtx) hangBeforeMeasure() error {
+	if c.hangs == nil {
+		return nil
+	}
+	retries, cost, err := c.hangs.HangRetries()
+	c.cycles += cost
+	c.measureRetries += retries
+	return err
 }
 
 // startRun begins a fresh application run over the tuning dataset.
@@ -367,7 +518,10 @@ type jobResult struct {
 	converged bool
 	escalated bool
 	ctx       *ratingCtx
-	err       error
+	// jobRetries counts injected worker panics this job survived before
+	// the attempt that produced the result.
+	jobRetries int
+	err        error
 }
 
 // errMethodExhausted reports that no applicable rating method converged.
@@ -386,21 +540,23 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalat
 	res := jobResult{ctx: c}
 	defer func() { e.pool.Stats().AddCycles(c.cycles) }()
 
-	expV, _, err := e.version(exp)
+	expVI, err := e.version(exp)
 	if err != nil {
 		res.err = err
 		return res
 	}
+	expV := expVI.v
 	if m == MethodWHL {
 		res.rating, res.err = e.rateWHL(c, expV)
 		res.converged = res.err == nil
 		return res
 	}
-	baseV, _, err := e.version(base)
+	baseVI, err := e.version(base)
 	if err != nil {
 		res.err = err
 		return res
 	}
+	baseV := baseVI.v
 
 	budget := 0
 	if escalatable && (m == MethodCBR || m == MethodAVG) {
@@ -413,6 +569,10 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalat
 		checkEvery = 1
 	}
 	for used := 0; used < e.cfg.MaxInvPerVersion; {
+		if err := c.hangBeforeMeasure(); err != nil {
+			res.err = fmt.Errorf("tune %s [%s]: %w", e.t.Bench.Name, m, err)
+			return res
+		}
 		args, key := c.nextInvocation(needKey)
 		ic := &invocation{
 			args: args, key: key,
@@ -450,6 +610,9 @@ func (e *engine) rateWHL(c *ratingCtx, expV *sim.Version) (Rating, error) {
 	var total int64
 	var measured float64
 	for i := 0; i < ds.NumInvocations; i++ {
+		if err := c.hangBeforeMeasure(); err != nil {
+			return Rating{}, fmt.Errorf("tune %s [WHL]: %w", e.t.Bench.Name, err)
+		}
 		args := ds.Args(i, c.mem, c.rng)
 		_, st, err := c.runner.Run(expV, args)
 		if err != nil {
@@ -476,9 +639,54 @@ func (e *engine) account(r *jobResult) {
 	e.res.Invocations += r.ctx.invocations
 	e.res.ProgramRuns += r.ctx.runs
 	e.res.VersionsRated++
+	e.res.MeasureRetries += r.ctx.measureRetries
+	e.res.JobRetries += r.jobRetries
 	if r.ctx.runs == 0 {
 		e.sharedInv += r.ctx.invocations
 	}
+}
+
+// rateJobSafe wraps rateJob in panic isolation. An injected worker panic
+// (fault.InjectedPanic) kills the attempt before it consumes simulated
+// time; the job is retried under a derived key — "<jobKey>/retry=N" — so
+// the retry draws fresh per-job streams yet the whole recovery remains a
+// pure function of identities, never of scheduling. Panics past the retry
+// bound, and panics that are genuine bugs rather than injections, surface
+// as job errors.
+func (e *engine) rateJobSafe(jobKey string, m Method, exp, base opt.FlagSet, escalatable bool) jobResult {
+	if e.faults == nil {
+		return e.rateJob(jobKey, m, exp, base, escalatable)
+	}
+	key := jobKey
+	for attempt := 0; ; {
+		res, panicked := e.rateJobAttempt(key, m, exp, base, escalatable)
+		if !panicked {
+			res.jobRetries = attempt
+			return res
+		}
+		attempt++
+		if attempt > e.faults.JobRetries() {
+			return jobResult{err: fmt.Errorf("tune %s [%s]: job %s kept panicking: %w",
+				e.t.Bench.Name, m, jobKey, fault.ErrRetriesExhausted)}
+		}
+		key = fmt.Sprintf("%s/retry=%d", jobKey, attempt)
+	}
+}
+
+func (e *engine) rateJobAttempt(key string, m Method, exp, base opt.FlagSet, escalatable bool) (res jobResult, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fault.InjectedPanic); ok {
+				panicked = true
+				return
+			}
+			res = jobResult{err: fmt.Errorf("tune %s [%s]: job %s panicked: %v", e.t.Bench.Name, m, key, r)}
+		}
+	}()
+	if e.faults.PanicsJob(key) {
+		panic(fault.InjectedPanic{Key: key})
+	}
+	return e.rateJob(key, m, exp, base, escalatable), false
 }
 
 // rateRound rates every candidate flag removal of one Iterative
@@ -492,7 +700,12 @@ func (e *engine) account(r *jobResult) {
 // next applicable rating method"). Because the decision depends only on
 // the index-ordered job results — never on completion order — the switch
 // point is identical at every worker count.
-func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag) ([]float64, error) {
+// With fault injection on, a candidate whose compilation failed
+// golden-output verification is quarantined: it is never rated (its code
+// computes wrong results — its speed is meaningless), its improvement is
+// zero, and its index is returned so Iterative Elimination removes the
+// flag from the search and records it in TuneResult.Quarantined.
+func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag) (imps []float64, quarantined []int, err error) {
 	// Precompile the base and every candidate and group the candidates by
 	// code fingerprint. A candidate whose generated code is identical to the
 	// base cannot improve on it — rating it would only hand measurement
@@ -502,25 +715,31 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 	// inherit its rating. Fingerprints depend only on the compiler, never on
 	// scheduling or the rating method, so the grouping — and therefore every
 	// skip — is identical at any worker count and with the cache on or off.
-	_, baseFP, err := e.version(current)
+	baseVI, err := e.version(current)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	leaderOf := make([]int, len(candidates)) // -1: identical to base
+	baseFP := baseVI.fp
+	leaderOf := make([]int, len(candidates)) // -1: identical to base; -2: quarantined
 	firstByFP := make(map[uint64]int, len(candidates))
 	var leaders []int
 	for i, f := range candidates {
-		_, fp, err := e.version(current.Without(f))
+		vi, err := e.version(current.Without(f))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		switch first, ok := firstByFP[fp]; {
-		case fp == baseFP:
+		if vi.quarantined {
+			leaderOf[i] = -2
+			quarantined = append(quarantined, i)
+			continue
+		}
+		switch first, ok := firstByFP[vi.fp]; {
+		case vi.fp == baseFP:
 			leaderOf[i] = -1
 		case ok:
 			leaderOf[i] = first
 		default:
-			firstByFP[fp] = i
+			firstByFP[vi.fp] = i
 			leaderOf[i] = i
 			leaders = append(leaders, i)
 		}
@@ -536,9 +755,9 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 			// RBR rates relative improvement directly and needs no base
 			// measurement; every other method anchors improvements to the
 			// base version's absolute rating.
-			b := e.rateJob(fmt.Sprintf("round=%d/method=%s/base", round, m), m, current, current, false)
+			b := e.rateJobSafe(fmt.Sprintf("round=%d/method=%s/base", round, m), m, current, current, false)
 			if b.err != nil {
-				return nil, b.err
+				return nil, nil, b.err
 			}
 			e.account(&b)
 			baseRating = b.rating
@@ -555,14 +774,14 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 			i := leaders[j]
 			f := candidates[i]
 			key := fmt.Sprintf("round=%d/method=%s/flag=%s", round, m, f)
-			results[i] = e.rateJob(key, m, current.Without(f), current, escalatable)
+			results[i] = e.rateJobSafe(key, m, current.Without(f), current, escalatable)
 		})
 
 		allConverged := baseConverged
 		for _, i := range leaders {
 			r := &results[i]
 			if r.err != nil {
-				return nil, r.err
+				return nil, nil, r.err
 			}
 			e.account(r)
 			if r.escalated {
@@ -573,8 +792,9 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				allConverged = false
 			}
 		}
-		// Every non-leader is a rating this round attempt did not run.
-		e.res.DedupSkips += len(candidates) - len(leaders)
+		// Every non-leader is a rating this round attempt did not run —
+		// except quarantined candidates, which were never eligible at all.
+		e.res.DedupSkips += len(candidates) - len(leaders) - len(quarantined)
 
 		if !allConverged && e.mi+1 < len(e.methods) {
 			// Not converging: switch to the next applicable method and
@@ -594,7 +814,7 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 		// ratio, not a sample variance, so no interval exists for it.
 		gate := e.cfg.Convergence == ConvergeCI
 		conf := e.cfg.confidence()
-		imps := make([]float64, len(candidates))
+		imps = make([]float64, len(candidates))
 		for _, i := range leaders {
 			rt := results[i].rating
 			imp := rt.ImprovementOver(baseEval)
@@ -620,22 +840,45 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				imps[i] = imps[l]
 			}
 		}
-		return imps, nil
+		return imps, quarantined, nil
 	}
 }
 
 // iterativeElimination searches the flag space (paper §5.2, algorithm from
 // [11]): starting from -O3, each round rates every remaining flag switched
 // off and permanently removes the flag whose removal helps most, until no
-// removal improves the rating by more than the threshold.
+// removal improves the rating by more than the threshold. Quarantined
+// candidates (miscompiles caught by verification) are removed from the
+// search as they are discovered.
+//
+// With a journal attached, completed rounds are checkpointed and a journal
+// that already holds state for this tune's checkpoint ID resumes it: the
+// pre-checkpoint rounds are skipped, their flag sets re-resolved without
+// re-accounting, and the final TuneResult is byte-identical to an
+// uninterrupted run's.
 func (e *engine) iterativeElimination() error {
 	const maxRounds = 8
 	current := opt.O3()
 	candidates := opt.AllFlags()
+	startRound := 0
+	stopped := false
 
-	for round := 0; round < maxRounds; round++ {
+	if e.journal != nil {
+		if rec, ok := e.journal.Latest(e.ckptID); ok {
+			st, err := e.restore(rec.State)
+			if err != nil {
+				return err
+			}
+			current = opt.FlagSet(st.Current)
+			candidates = flagsOf(st.Candidates)
+			startRound = rec.Round + 1
+			stopped = rec.Stopped
+		}
+	}
+
+	for round := startRound; round < maxRounds && !stopped; round++ {
 		e.res.Rounds = round + 1
-		imps, err := e.rateRound(round, current, candidates)
+		imps, quarantined, err := e.rateRound(round, current, candidates)
 		if err != nil {
 			return err
 		}
@@ -646,14 +889,45 @@ func (e *engine) iterativeElimination() error {
 				bestImp, bestIdx = imp, i
 			}
 		}
-		if bestIdx < 0 {
-			break
+		drop := make(map[int]bool, len(quarantined)+1)
+		for _, i := range quarantined {
+			drop[i] = true
+			e.res.Quarantined = append(e.res.Quarantined, candidates[i])
 		}
-		f := candidates[bestIdx]
-		current = current.Without(f)
-		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
-		e.res.Removed = append(e.res.Removed, f)
+		if bestIdx >= 0 {
+			f := candidates[bestIdx]
+			current = current.Without(f)
+			e.res.Removed = append(e.res.Removed, f)
+			drop[bestIdx] = true
+		} else {
+			stopped = true
+		}
+		if len(drop) > 0 {
+			kept := make([]opt.Flag, 0, len(candidates)-len(drop))
+			for i, f := range candidates {
+				if !drop[i] {
+					kept = append(kept, f)
+				}
+			}
+			candidates = kept
+		}
+		if err := e.checkpoint(round, current, candidates, stopped); err != nil {
+			return err
+		}
 	}
 	e.res.Best = current
 	return nil
+}
+
+// flagsOf is the inverse of checkpoint.go's intsOf; len 0 maps back to nil
+// so restored TuneResult slices compare equal to never-checkpointed ones.
+func flagsOf(ints []int) []opt.Flag {
+	if len(ints) == 0 {
+		return nil
+	}
+	out := make([]opt.Flag, len(ints))
+	for i, v := range ints {
+		out[i] = opt.Flag(v)
+	}
+	return out
 }

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"peak/internal/fault"
 	"peak/internal/machine"
 	"peak/internal/noise"
 	"peak/internal/sim"
@@ -184,6 +185,16 @@ type Config struct {
 	// Noise overrides the machine's default measurement-noise model (see
 	// NoiseModelFor); nil keeps the machine default.
 	Noise *noise.Model
+	// Faults enables deterministic fault injection: transient compile
+	// failures, miscompiles (caught by golden-output verification and
+	// quarantined), measurement hangs (retried with backoff), and rating-
+	// job panics (isolated and retried). Nil — or a plan with all rates
+	// zero — disables injection entirely and the engine's recovery
+	// machinery stays out of the measurement path, so fault-free outputs
+	// are byte-identical to builds without this feature. The determinism
+	// contract extends to injection: same seed + same plan ⇒ byte-identical
+	// results at any worker count, cache on or off, resumed or not.
+	Faults *fault.Plan
 	// NoCompileCache disables the compile cache (internal/vcache): every
 	// tune falls back to a private per-tune memo table with direct
 	// compilation. Outputs are bit-identical either way (compilation is

@@ -12,6 +12,7 @@ import (
 
 	"peak/internal/bench"
 	"peak/internal/core"
+	"peak/internal/fault"
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/profiling"
@@ -35,6 +36,9 @@ func Table1(m *machine.Machine, windows []int, cfg *core.Config) ([]core.Consist
 // Each job is self-contained — its random streams are seeded from the
 // benchmark and the config, never shared — and the rows are reduced in
 // workloads.All() order, so the output is identical at any worker count.
+// On error the rows computed so far (in order, up to the first failed
+// benchmark) are still returned with the first error, so callers can flush
+// partial results; a panicking benchmark job is recovered into an error.
 func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Pool) ([]core.ConsistencyRow, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
@@ -47,6 +51,11 @@ func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Po
 	results := make([]result, len(benches))
 	pool.Map(len(benches), func(i int) {
 		b := benches[i]
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = result{err: fmt.Errorf("table 1 %s: panic: %v", b.Name, r)}
+			}
+		}()
 		p, err := profiling.Run(b, b.Train, m)
 		if err != nil {
 			results[i] = result{err: err}
@@ -59,7 +68,7 @@ func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Po
 	var rows []core.ConsistencyRow
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return rows, r.err
 		}
 		rows = append(rows, r.rows...)
 	}
@@ -155,6 +164,19 @@ func Figure7On(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config,
 // print them (-cachestats); nil disables caching. Entries are bit-identical
 // for any cache value — see the determinism notes on core.Tuner.Cache.
 func Figure7OnCached(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache) ([]Fig7Entry, error) {
+	return Figure7Journaled(benches, m, cfg, pool, cache, nil)
+}
+
+// Figure7Journaled is Figure7OnCached with checkpoint/resume: a non-nil
+// journal makes every tuning process append a checkpoint after each
+// Iterative Elimination round (keyed "bench/machine/method/dataset") and
+// resume from any state the journal already holds, reproducing the
+// uninterrupted entries byte-for-byte. On error the entries computed so far
+// are still returned (in input order up to the first failed benchmark)
+// together with the first error, so callers can flush partial results; a
+// panicking benchmark job is recovered into such an error rather than
+// taking down the whole run.
+func Figure7Journaled(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal) ([]Fig7Entry, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
@@ -164,20 +186,25 @@ func Figure7OnCached(benches []*bench.Benchmark, m *machine.Machine, cfg *core.C
 	}
 	results := make([]result, len(benches))
 	pool.Map(len(benches), func(i int) {
-		entries, err := figure7One(benches[i], m, cfg, pool, cache)
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = result{err: fmt.Errorf("figure 7 %s: panic: %v", benches[i].Name, r)}
+			}
+		}()
+		entries, err := figure7One(benches[i], m, cfg, pool, cache, j)
 		results[i] = result{entries, err}
 	})
 	var out []Fig7Entry
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return out, r.err
 		}
 		out = append(out, r.entries...)
 	}
 	return out, nil
 }
 
-func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache) ([]Fig7Entry, error) {
+func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal) ([]Fig7Entry, error) {
 	var out []Fig7Entry
 	{
 		pTrain, err := profiling.Run(b, b.Train, m)
@@ -201,11 +228,11 @@ func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool s
 			method := method
 			e := Fig7Entry{Benchmark: b.Name, Method: method, Chosen: method == chosen}
 
-			trainRes, err := tuneForced(b, b.Train, m, pTrain, method, cfg, pool, cache)
+			trainRes, err := tuneForcedJ(b, b.Train, m, pTrain, method, cfg, pool, cache, j)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s train: %w", b.Name, method, err)
 			}
-			refRes, err := tuneForced(b, b.Ref, m, pRef, method, cfg, pool, cache)
+			refRes, err := tuneForcedJ(b, b.Ref, m, pRef, method, cfg, pool, cache, j)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s ref: %w", b.Name, method, err)
 			}
@@ -266,10 +293,19 @@ func forceable(p *profiling.Profile, cfg *core.Config) []core.Method {
 func tuneForced(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
 	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool,
 	cache *vcache.Cache) (*core.TuneResult, error) {
+	return tuneForcedJ(b, ds, m, p, method, cfg, pool, cache, nil)
+}
+
+// tuneForcedJ is tuneForced with an optional checkpoint journal; the
+// engine derives the checkpoint ID "bench/machine/method/dataset", unique
+// per tune of a Figure-7 run.
+func tuneForcedJ(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
+	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool,
+	cache *vcache.Cache, j *fault.Journal) (*core.TuneResult, error) {
 	forced := method
 	tu := &core.Tuner{
 		Bench: b, Mach: m, Dataset: ds, Cfg: *cfg, Profile: p, Force: &forced,
-		Pool: pool, Cache: cache,
+		Pool: pool, Cache: cache, Journal: j,
 	}
 	return tu.Tune()
 }

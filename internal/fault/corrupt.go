@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"math/rand"
+
+	"peak/internal/ir"
+	"peak/internal/sim"
+)
+
+// corruptions maps each corruptible opcode to its miscompiled replacement.
+// Replacements stay within the original cost class (integer/float, same
+// operand shape), so a corrupted version is structurally valid, costs about
+// the same, and differs only in the values it computes — exactly the
+// silent-miscompile case golden-output verification exists to catch.
+var corruptions = map[ir.Opcode]ir.Opcode{
+	ir.LAdd:  ir.LSub,
+	ir.LSub:  ir.LAdd,
+	ir.LMul:  ir.LAdd,
+	ir.LFAdd: ir.LFSub,
+	ir.LFSub: ir.LFAdd,
+	ir.LFMul: ir.LFAdd,
+	ir.LFDiv: ir.LFMul,
+}
+
+// Corrupt deterministically miscompiles v in place: it picks one arithmetic
+// instruction of v's function (seeded by seed) and swaps its opcode per the
+// corruptions table. Returns false when the function has no corruptible
+// instruction (v is left untouched). Corrupt must run before the version is
+// frozen or published.
+//
+// A corrupted version still terminates under a Runner.MaxSteps bound —
+// swapping a loop counter's add for a sub can make the loop run away, which
+// the verifier's step limit converts into a quarantinable error
+// (sim.ErrStepLimit) rather than a hang.
+func Corrupt(v *sim.Version, seed int64) bool {
+	type site struct{ b, i int }
+	var sites []site
+	for bi, b := range v.LF.Blocks {
+		for ii := range b.Instrs {
+			if _, ok := corruptions[b.Instrs[ii].Op]; ok {
+				sites = append(sites, site{bi, ii})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := sites[rng.Intn(len(sites))]
+	in := &v.LF.Blocks[s.b].Instrs[s.i]
+	in.Op = corruptions[in.Op]
+	return true
+}

@@ -1,0 +1,254 @@
+// Package fault provides deterministic fault injection and the recovery
+// primitives the tuning engine hardens itself with.
+//
+// The paper's offline search assumes every compile succeeds and every
+// measurement returns, but the system it models does not enjoy that
+// luxury: GCC flag combinations crash the compiler, miscompile programs,
+// and produce runs that hang; a machine under tuning load drops jobs. A
+// tuner that dies on the first such event loses hours of search. This
+// package makes those events injectable so the engine's recovery paths
+// (retry, quarantine, checkpoint/resume — see ARCHITECTURE.md "Failure &
+// recovery contract") can be exercised and verified deterministically:
+//
+//   - Transient compile failures: the compiler "crashes" a seeded number
+//     of times for a flag set before succeeding (CompileFailRate).
+//   - Miscompiles: the compiled LIR is deliberately corrupted (Corrupt)
+//     so the version produces wrong output — the case PEAK must detect by
+//     golden-output verification and quarantine (MiscompileRate).
+//   - Measurement hangs: a timed run "hangs" and is killed after a
+//     timeout, costing TimeoutCycles plus backoff before the retry
+//     (HangRate).
+//   - Worker-job panics: a rating job dies mid-flight (PanicRate); the
+//     scheduler and engine must isolate and retry it.
+//
+// Mirroring internal/noise, every decision is a pure function of the plan
+// seed and a stable identity — a compile's (program, function, flags,
+// machine) key, or a rating job's DAG key — never of execution order.
+// Faults therefore strike the same victims at any worker count, with the
+// compile cache on or off, and across a checkpoint/resume boundary, which
+// is what keeps the repository's bit-identical determinism contract intact
+// with injection enabled.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"peak/internal/sched"
+)
+
+// Defaults for the optional Plan fields.
+const (
+	DefaultMaxCompileRetries = 6
+	DefaultMaxMeasureRetries = 6
+	DefaultMaxJobRetries     = 3
+	DefaultTimeoutCycles     = 1_000_000
+	DefaultBackoffCycles     = 50_000
+)
+
+// Plan describes one fault-injection regime. The zero value injects
+// nothing. Rates are per-decision probabilities; retry bounds and cycle
+// penalties have defaults (see the Default* constants) selected by zero.
+type Plan struct {
+	// Seed drives every fault stream. It is independent of the
+	// measurement-noise seed so fault and noise regimes compose freely.
+	Seed int64
+
+	// CompileFailRate is the per-attempt probability that compiling a
+	// distinct (program, function, flags, machine) combination fails
+	// transiently. The injected failure count for a key is the number of
+	// consecutive failing draws, so retrying eventually succeeds unless
+	// the bound is exhausted first.
+	CompileFailRate float64
+	// MiscompileRate is the probability that a distinct compilation is
+	// miscompiled: its LIR is corrupted (Corrupt) so the version computes
+	// wrong results. The tuning base "-O3" is exempt — it models the
+	// trusted production baseline the golden outputs come from.
+	MiscompileRate float64
+	// HangRate is the per-measurement probability that a timed run hangs
+	// and is killed after a timeout.
+	HangRate float64
+	// PanicRate is the per-attempt probability that a rating job panics.
+	PanicRate float64
+
+	// MaxCompileRetries, MaxMeasureRetries and MaxJobRetries bound the
+	// recovery attempts before the engine gives up and surfaces
+	// ErrRetriesExhausted (0 selects the defaults; negative disables
+	// retries entirely).
+	MaxCompileRetries int
+	MaxMeasureRetries int
+	MaxJobRetries     int
+
+	// TimeoutCycles is the simulated cost of detecting one hang (the
+	// watchdog timeout); BackoffCycles the base of the exponential
+	// backoff charged before each retry (doubling per attempt). Zero
+	// selects the defaults.
+	TimeoutCycles int64
+	BackoffCycles int64
+}
+
+// Uniform returns a plan injecting every fault class at the given rate,
+// except miscompiles, which are injected at rate/10: a real toolchain
+// crashes and hangs far more often than it silently miscompiles, and
+// quarantine — unlike the transient classes — permanently removes search
+// candidates.
+func Uniform(rate float64, seed int64) *Plan {
+	return &Plan{
+		Seed:            seed,
+		CompileFailRate: rate,
+		MiscompileRate:  rate / 10,
+		HangRate:        rate,
+		PanicRate:       rate,
+	}
+}
+
+// IsZero reports whether the plan injects no faults at all.
+func (p *Plan) IsZero() bool {
+	return p == nil || (p.CompileFailRate == 0 && p.MiscompileRate == 0 &&
+		p.HangRate == 0 && p.PanicRate == 0)
+}
+
+// Fingerprint identifies the plan's injection behaviour. Compile caches
+// must not be shared across different fingerprints (a miscompiled artifact
+// under one plan is a clean artifact under another); the engine folds the
+// fingerprint into its cache keying so that cannot happen.
+func (p *Plan) Fingerprint() uint64 {
+	if p.IsZero() {
+		return 0
+	}
+	key := fmt.Sprintf("plan/%v/%v/%v/%v/%d", p.CompileFailRate, p.MiscompileRate,
+		p.HangRate, p.PanicRate, p.Seed)
+	return uint64(sched.DeriveSeed(p.Seed, key)) | 1
+}
+
+// CompileRetries returns the effective transient-compile retry bound.
+func (p *Plan) CompileRetries() int { return bound(p.MaxCompileRetries, DefaultMaxCompileRetries) }
+
+// MeasureRetries returns the effective measurement retry bound.
+func (p *Plan) MeasureRetries() int { return bound(p.MaxMeasureRetries, DefaultMaxMeasureRetries) }
+
+// JobRetries returns the effective panicked-job retry bound.
+func (p *Plan) JobRetries() int { return bound(p.MaxJobRetries, DefaultMaxJobRetries) }
+
+// Timeout returns the effective hang-detection cost in simulated cycles.
+func (p *Plan) Timeout() int64 {
+	if p.TimeoutCycles == 0 {
+		return DefaultTimeoutCycles
+	}
+	return p.TimeoutCycles
+}
+
+// Backoff returns the simulated backoff cost before retry attempt n
+// (0-based): BackoffCycles doubled per attempt, capped at 16 doublings.
+func (p *Plan) Backoff(attempt int) int64 {
+	base := p.BackoffCycles
+	if base == 0 {
+		base = DefaultBackoffCycles
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	return base << uint(attempt)
+}
+
+func bound(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// ErrRetriesExhausted reports that a fault kept recurring past its retry
+// bound — the run cannot make progress on this unit of work.
+var ErrRetriesExhausted = errors.New("fault: retries exhausted")
+
+// InjectedPanic is the value an injected worker-job panic carries. The
+// engine's job isolation recognizes it and retries the job under a derived
+// key; any other panic value is a genuine bug and is surfaced as a
+// non-retryable job error instead.
+type InjectedPanic struct{ Key string }
+
+func (p InjectedPanic) String() string { return "fault: injected panic in " + p.Key }
+
+// rng returns a private random stream for one (class, identity) decision.
+func (p *Plan) rng(class, key string) *rand.Rand {
+	return rand.New(rand.NewSource(sched.DeriveSeed(p.Seed, class+"/"+key)))
+}
+
+// CompileFailures returns the number of consecutive transient compile
+// failures injected for the compilation identified by key — a pure
+// function of (seed, key), so every requester observes the same count
+// regardless of caching or scheduling. The count is capped one past the
+// retry bound: callers compare against CompileRetries.
+func (p *Plan) CompileFailures(key string) int {
+	if p.CompileFailRate <= 0 {
+		return 0
+	}
+	rng := p.rng("compilefail", key)
+	limit := p.CompileRetries() + 1
+	n := 0
+	for n < limit && rng.Float64() < p.CompileFailRate {
+		n++
+	}
+	return n
+}
+
+// Miscompiles reports whether the compilation identified by key is
+// miscompiled under this plan (pure function of seed and key).
+func (p *Plan) Miscompiles(key string) bool {
+	if p.MiscompileRate <= 0 {
+		return false
+	}
+	return p.rng("miscompile", key).Float64() < p.MiscompileRate
+}
+
+// PanicsJob reports whether the rating-job attempt identified by
+// attemptKey panics (pure function of seed and key). Retried attempts use
+// a derived key, so a panicked job's retry draws independently.
+func (p *Plan) PanicsJob(attemptKey string) bool {
+	if p.PanicRate <= 0 {
+		return false
+	}
+	return p.rng("panic", attemptKey).Float64() < p.PanicRate
+}
+
+// MeasureStream is the per-job stream of measurement-hang faults, derived
+// from the job's DAG key like every other per-job stream. It must stay
+// confined to one goroutine.
+type MeasureStream struct {
+	plan *Plan
+	rng  *rand.Rand
+}
+
+// MeasureStream returns the hang-fault stream for the rating job named by
+// jobKey, or nil when the plan injects no hangs.
+func (p *Plan) MeasureStream(jobKey string) *MeasureStream {
+	if p == nil || p.HangRate <= 0 {
+		return nil
+	}
+	return &MeasureStream{plan: p, rng: p.rng("hang", jobKey)}
+}
+
+// HangRetries draws the hang faults preceding one measurement: each hang
+// costs the watchdog timeout plus exponential backoff before the retry.
+// It returns the number of retries consumed and their total simulated
+// cost; err is ErrRetriesExhausted when the hang recurred past the
+// retry bound.
+func (s *MeasureStream) HangRetries() (retries int, cost int64, err error) {
+	if s == nil {
+		return 0, 0, nil
+	}
+	max := s.plan.MeasureRetries()
+	for s.rng.Float64() < s.plan.HangRate {
+		cost += s.plan.Timeout() + s.plan.Backoff(retries)
+		retries++
+		if retries > max {
+			return retries, cost, fmt.Errorf("measurement hang: %w", ErrRetriesExhausted)
+		}
+	}
+	return retries, cost, nil
+}

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one journal entry: a completed unit of work identified by a
+// stable checkpoint ID (for a tune: "bench/machine/method/dataset"), the
+// round it closed, and an opaque state snapshot sufficient to continue from
+// the next round. Stopped marks the final record of a unit — the search
+// ended and State is the finished state.
+type Record struct {
+	Kind    string          `json:"kind"`
+	ID      string          `json:"id"`
+	Round   int             `json:"round"`
+	Stopped bool            `json:"stopped,omitempty"`
+	State   json.RawMessage `json:"state,omitempty"`
+}
+
+// Journal is an append-only JSON-lines checkpoint journal. Appends are
+// written (and flushed to the OS) one line at a time, so a killed process
+// loses at most the line being written; the loader tolerates that truncated
+// trailing line. A Journal is safe for concurrent use — experiment drivers
+// share one journal across parallel tunes, keyed by Record.ID.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File // nil for an in-memory journal
+	latest map[string]Record
+}
+
+// NewJournal creates (truncating) the journal file at path.
+func NewJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: create journal: %w", err)
+	}
+	return &Journal{f: f, latest: map[string]Record{}}, nil
+}
+
+// OpenJournal opens an existing journal for resume: it loads every intact
+// record (stopping at the first malformed or truncated line, which a killed
+// writer legitimately leaves behind) and reopens the file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fault: open journal: %w", err)
+	}
+	j := &Journal{f: f, latest: map[string]Record{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var good int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		good += int64(len(line)) + 1
+		j.latest[rec.ID] = rec
+	}
+	// Drop the truncated tail so appended records start on a clean line.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fault: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fault: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// NewMemoryJournal returns a journal that keeps records in memory only
+// (tests and callers that want checkpoint semantics without a file).
+func NewMemoryJournal() *Journal {
+	return &Journal{latest: map[string]Record{}}
+}
+
+// Append writes one record and flushes it to the OS.
+func (j *Journal) Append(rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fault: marshal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.latest[rec.ID] = rec
+	if j.f == nil {
+		return nil
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("fault: append record: %w", err)
+	}
+	return nil
+}
+
+// Latest returns the most recent record for the checkpoint ID, if any.
+func (j *Journal) Latest(id string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.latest[id]
+	return rec, ok
+}
+
+// Len returns the number of checkpoint IDs with at least one record.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.latest)
+}
+
+// Sync forces journal contents to stable storage (SIGINT handlers call this
+// before printing the resume command).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

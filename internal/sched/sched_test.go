@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -188,5 +189,44 @@ func TestStartProgressEmitsAndStops(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	if buf.Len() != n {
 		t.Error("progress kept emitting after stop")
+	}
+}
+
+// A panicking job must not take down the process: the pool recovers it,
+// counts it, keeps Wall latching correct, and completes the batch.
+func TestJobPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		done := make([]bool, 16)
+		p.Map(16, func(i int) {
+			if i%5 == 2 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			done[i] = true
+		})
+		for i := range done {
+			if want := i%5 != 2; done[i] != want {
+				t.Errorf("workers=%d: job %d done=%v, want %v", workers, i, done[i], want)
+			}
+		}
+		st := p.Stats()
+		if got := st.JobPanics.Load(); got != 3 {
+			t.Errorf("workers=%d: JobPanics = %d, want 3", workers, got)
+		}
+		if st.FirstPanic() == "" || !strings.Contains(st.FirstPanic(), "boom") {
+			t.Errorf("workers=%d: FirstPanic = %q", workers, st.FirstPanic())
+		}
+		if got, want := st.JobsDone.Load(), st.JobsQueued.Load(); got != want {
+			t.Errorf("workers=%d: JobsDone %d != JobsQueued %d after panics", workers, got, want)
+		}
+		// Wall must latch: panicked jobs still count as completed.
+		wall := st.Wall()
+		time.Sleep(30 * time.Millisecond)
+		if got := st.Wall(); got != wall {
+			t.Errorf("workers=%d: wall grew while idle after panics: %v -> %v", workers, wall, got)
+		}
+		if !strings.Contains(st.Summary(workers), "3 job panic(s)") {
+			t.Errorf("workers=%d: Summary missing panic count: %s", workers, st.Summary(workers))
+		}
 	}
 }

@@ -29,6 +29,19 @@ type Stats struct {
 	// so Wall freezes between batches instead of charging the pool for
 	// whatever the caller does after the work is done.
 	endNanos atomic.Int64
+	// JobPanics counts jobs that panicked and were recovered by the pool
+	// (the job contributes no result; the process survives). firstPanic
+	// keeps the first panic's message for the Summary line.
+	JobPanics  atomic.Int64
+	firstPanic atomic.Pointer[string]
+}
+
+// FirstPanic returns the first recovered job panic's message ("" if none).
+func (s *Stats) FirstPanic() string {
+	if p := s.firstPanic.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // AddCycles lets a running job report simulated cycles it consumed.
@@ -42,12 +55,23 @@ func (s *Stats) enqueue(n int64) {
 	}
 }
 
-// run executes one job with full accounting.
+// run executes one job with full accounting. A panicking job is recovered
+// here — it becomes a counted per-job failure (JobPanics), never a process
+// crash — and still completes for accounting purposes, so JobsDone reaches
+// JobsQueued and Wall latches correctly even when jobs fail. Callers that
+// need richer failure handling (the tuning engine retries injected panics
+// under derived job keys) recover in the job itself; this recover is the
+// pool's last line of defense for everyone else.
 func (s *Stats) run(fn func(int), i int) {
 	s.startNanos.CompareAndSwap(0, time.Now().UnixNano())
 	s.JobsRunning.Add(1)
 	start := time.Now()
 	defer func() {
+		if r := recover(); r != nil {
+			s.JobPanics.Add(1)
+			msg := fmt.Sprint(r)
+			s.firstPanic.CompareAndSwap(nil, &msg)
+		}
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
 		s.JobsRunning.Add(-1)
 		if s.JobsDone.Add(1) == s.JobsQueued.Load() {
@@ -91,11 +115,15 @@ func (s *Stats) Line() string {
 
 // Summary formats the final utilization report for a finished pool.
 func (s *Stats) Summary(workers int) string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"sched: %d jobs on %d worker(s) in %s · busy %s · utilization %.0f%% · %.3e simulated cycles",
 		s.JobsDone.Load(), workers, s.Wall().Round(time.Millisecond),
 		time.Duration(s.busyNanos.Load()).Round(time.Millisecond),
 		100*s.Utilization(workers), float64(s.Cycles.Load()))
+	if n := s.JobPanics.Load(); n > 0 {
+		line += fmt.Sprintf(" · %d job panic(s) recovered (first: %s)", n, s.FirstPanic())
+	}
+	return line
 }
 
 // StartProgress emits the pool's status line to w every interval until

@@ -210,6 +210,13 @@ func (r *Runner) ResetMicroarch() {
 // ErrRuntime wraps simulated program errors (bounds, division by zero).
 var ErrRuntime = errors.New("simulated runtime error")
 
+// ErrStepLimit (a kind of ErrRuntime) reports that a run exceeded
+// Runner.MaxSteps. The golden-output verifier runs candidate versions under
+// a step bound derived from the reference run, so a miscompiled version
+// whose loop runs away is killed and quarantined instead of hanging the
+// tuner; errors.Is(err, ErrStepLimit) distinguishes that case.
+var ErrStepLimit = fmt.Errorf("%w: step limit exceeded", ErrRuntime)
+
 // Run executes version v with the given scalar arguments and returns its
 // return value (NaN if none) and execution statistics.
 //
@@ -291,7 +298,7 @@ func (ex *execState) exec(p *vplan, args []float64, depth int) (float64, int64, 
 			ex.steps++
 			ex.stats.Instrs++
 			if ex.steps > ex.maxSteps {
-				return 0, cycle, fmt.Errorf("%w: step limit exceeded in %s", ErrRuntime, p.name)
+				return 0, cycle, fmt.Errorf("%w in %s", ErrStepLimit, p.name)
 			}
 
 			// Issue: stall until operands are ready. Spill loads, call

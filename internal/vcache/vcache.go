@@ -54,6 +54,12 @@ type entry struct {
 	// flag set (content-dedup alias). Recorded per key at insert time, so
 	// hits report the same value every time.
 	shared bool
+	// quarantined marks entries a tune's golden-output verification flagged
+	// as miscompiled (MarkQuarantined). Observability only: tunes verify
+	// every resolution themselves (the verdict is deterministic, so repeat
+	// verifications agree), keeping their cycle accounting independent of
+	// what other cache users already discovered.
+	quarantined bool
 }
 
 // Stats is a snapshot of the cache's counters. All totals are
@@ -74,6 +80,9 @@ type Stats struct {
 	Entries  int64
 	Versions int64
 	Bytes    int64
+	// Quarantined is the number of resident keys flagged as miscompiled by
+	// golden-output verification (MarkQuarantined).
+	Quarantined int64
 }
 
 // Summary formats the stats in the style of sched.Stats.Summary.
@@ -139,6 +148,27 @@ func (c *Cache) GetOrCompile(key Key, compile func() (*sim.Version, error)) (v *
 	c.entries[key] = e
 	c.stats.Entries++
 	return e.v, e.fp, e.shared, nil
+}
+
+// MarkQuarantined records that key's compilation failed golden-output
+// verification. The mark is observability (Stats.Quarantined, Quarantined)
+// — GetOrCompile still serves the entry, because every tune re-verifies its
+// own resolutions and the verdict is deterministic. No-op for unknown keys.
+func (c *Cache) MarkQuarantined(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && !e.quarantined {
+		e.quarantined = true
+		c.stats.Quarantined++
+	}
+}
+
+// Quarantined reports whether key has been marked miscompiled.
+func (c *Cache) Quarantined(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.quarantined
 }
 
 // Stats returns a snapshot of the counters.

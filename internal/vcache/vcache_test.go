@@ -165,3 +165,31 @@ func TestConcurrentGetOrCompile(t *testing.T) {
 		t.Fatalf("lookups = %d, want %d", st.Lookups, goroutines*len(flags))
 	}
 }
+
+func TestMarkQuarantined(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	k := key(opt.O3())
+	if c.Quarantined(k) {
+		t.Fatal("fresh cache reports a quarantined key")
+	}
+	c.MarkQuarantined(k) // unknown key: no-op
+	if c.Stats().Quarantined != 0 {
+		t.Fatal("marking an unknown key changed stats")
+	}
+	if _, _, _, err := c.GetOrCompile(k, compile(opt.O3())); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkQuarantined(k)
+	c.MarkQuarantined(k) // idempotent
+	if !c.Quarantined(k) {
+		t.Error("Quarantined(k) = false after MarkQuarantined")
+	}
+	if got := c.Stats().Quarantined; got != 1 {
+		t.Errorf("Stats.Quarantined = %d, want 1", got)
+	}
+	// The entry is still served: tunes re-verify their own resolutions.
+	if v, _, _, err := c.GetOrCompile(k, compile(opt.O3())); err != nil || v == nil {
+		t.Errorf("quarantined entry not served: %v, %v", v, err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"peak/internal/bench"
 	"peak/internal/core"
 	"peak/internal/experiments"
+	"peak/internal/fault"
 	"peak/internal/machine"
 	"peak/internal/noise"
 	"peak/internal/opt"
@@ -107,6 +108,18 @@ type (
 	VersionCache = vcache.Cache
 	// VersionCacheStats is a snapshot of a cache's counters.
 	VersionCacheStats = vcache.Stats
+	// FaultPlan configures deterministic fault injection (compile failures,
+	// miscompiles, measurement hangs, rating-job panics). Set Config.Faults
+	// to tune under faults; same seed + same plan gives byte-identical
+	// results at any worker count, cache on or off, resumed or not.
+	FaultPlan = fault.Plan
+	// Journal is an append-only checkpoint journal: attach one to a tuning
+	// run (core.Tuner.Journal, Figure7Journaled, FaultReport) to checkpoint
+	// after every Iterative Elimination round and resume interrupted runs
+	// byte-identically.
+	Journal = fault.Journal
+	// FaultBar is one (benchmark, method) comparison of the fault report.
+	FaultBar = experiments.FaultBar
 )
 
 // Rating methods.
@@ -309,6 +322,52 @@ func NoiseReport(m *Machine, cfg *Config, pool Pool) (string, error) {
 		c = *cfg
 	}
 	return experiments.NoiseReportOn(m, &c, pool)
+}
+
+// UniformFaults returns a fault plan injecting every fault class at the
+// given rate (miscompiles at a tenth of it — they are the rarest and most
+// serious real-world failure) with deterministic per-identity streams
+// derived from seed.
+func UniformFaults(rate float64, seed int64) *FaultPlan { return fault.Uniform(rate, seed) }
+
+// NewJournal creates (truncating) a checkpoint journal at path.
+func NewJournal(path string) (*Journal, error) { return fault.NewJournal(path) }
+
+// OpenJournal opens an existing checkpoint journal for resuming, dropping
+// a torn trailing record if the writer was killed mid-append.
+func OpenJournal(path string) (*Journal, error) { return fault.OpenJournal(path) }
+
+// FaultReport runs the robustness experiment on m: the Figure-7 tuning
+// protocol under fault injection, each bar's winner compared against its
+// fault-free twin, with a recovery-ledger footer. A non-nil journal
+// checkpoints (and resumes) the faulted tunes. cfg may be nil for the
+// default configuration.
+func FaultReport(m *Machine, cfg *Config, plan *FaultPlan, pool Pool, j *Journal) (string, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.FaultReport(m, &c, plan, pool, j)
+}
+
+// FaultReportBars is FaultReport returning the raw comparison bars for an
+// explicit benchmark list (partial bars plus the first error on failure).
+func FaultReportBars(benches []*Benchmark, m *Machine, cfg *Config, plan *FaultPlan, pool Pool, j *Journal) ([]FaultBar, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.FaultReportFor(benches, m, &c, plan, pool, j)
+}
+
+// Figure7Journaled is Figure7On with checkpoint/resume through j and a
+// caller-supplied shared compile cache (both may be nil).
+func Figure7Journaled(m *Machine, cfg *Config, pool Pool, cache *VersionCache, j *Journal) ([]Fig7Entry, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.Figure7Journaled(workloads.Figure7Set(), m, &c, pool, cache, j)
 }
 
 // Validate sanity-checks a benchmark definition (useful when constructing
