@@ -12,6 +12,11 @@
 //	peak-bench -table1                          # also time Table 1 end to end
 //	peak-bench -table1 -baseline-table1-ns N    # embed a pre-change baseline
 //	peak-bench -o BENCH_pr3.json                # write instead of stdout
+//	peak-bench -trace bench.jsonl               # wall-clock phase events
+//
+// The -trace output records wall-clock "bench_phase" events — the one
+// documented exemption from the repository's trace determinism contract
+// (OBSERVABILITY.md).
 package main
 
 import (
@@ -23,11 +28,13 @@ import (
 	"strings"
 	"time"
 
+	"peak/internal/cli"
 	"peak/internal/core"
 	"peak/internal/experiments"
 	"peak/internal/machine"
 	"peak/internal/opt"
 	"peak/internal/sim"
+	"peak/internal/trace"
 	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
@@ -67,6 +74,8 @@ func main() {
 		runTable1  = flag.Bool("table1", false, "also run the Table-1 experiment end to end (seconds)")
 		baseNs     = flag.Int64("baseline-table1-ns", 0, "pre-change Table-1 wall time to embed for comparison")
 		minSeconds = flag.Float64("mintime", 1.0, "minimum seconds per timed section")
+		tracePath  = flag.String("trace", "", "write wall-clock bench_phase events to this JSONL file")
+		metrics    = flag.Bool("metrics", false, "print the measured numbers as a metrics table to stderr")
 	)
 	flag.Parse()
 
@@ -81,6 +90,14 @@ func main() {
 	r := report{
 		Command: "peak-bench " + strings.Join(os.Args[1:], " "),
 		Bench:   b.Name, Machine: m.Name,
+	}
+	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	// phase records one timed section as a wall-clock bench_phase event
+	// (Count = elapsed nanoseconds, Invocations = operations) — outside
+	// the determinism contract by design.
+	phase := func(name string, elapsedNs, ops int64) {
+		obs.Buf.Emit(trace.Event{Kind: trace.KindBenchPhase,
+			Detail: name, Count: elapsedNs, Invocations: ops})
 	}
 
 	// The flag-set population a tuning round touches: -O3 plus every
@@ -103,7 +120,9 @@ func main() {
 			coldOps++
 		}
 	}
-	r.CompileColdNsOp = time.Since(coldStart).Nanoseconds() / int64(coldOps)
+	coldNs := time.Since(coldStart).Nanoseconds()
+	r.CompileColdNsOp = coldNs / int64(coldOps)
+	phase("compile_cold", coldNs, int64(coldOps))
 
 	// Cached: warm the cache with one pass, then time pure hits.
 	cache := vcache.New()
@@ -127,7 +146,9 @@ func main() {
 			cachedOps++
 		}
 	}
-	r.CompileCachedNsOp = time.Since(cachedStart).Nanoseconds() / int64(cachedOps)
+	cachedNs := time.Since(cachedStart).Nanoseconds()
+	r.CompileCachedNsOp = cachedNs / int64(cachedOps)
+	phase("compile_cached", cachedNs, int64(cachedOps))
 	if r.CompileCachedNsOp > 0 {
 		r.CompileSpeedup = float64(r.CompileColdNsOp) / float64(r.CompileCachedNsOp)
 	}
@@ -158,6 +179,7 @@ func main() {
 	invNs := time.Since(invStart).Nanoseconds()
 	r.InvocationNsOp = invNs / int64(invOps)
 	r.InvocationsPerSec = float64(invOps) / (float64(invNs) / 1e9)
+	phase("simulate", invNs, int64(invOps))
 
 	if *runTable1 {
 		cfg := core.DefaultConfig()
@@ -166,10 +188,23 @@ func main() {
 			fatalf("table1: %v", err)
 		}
 		r.Table1WallNs = time.Since(t0).Nanoseconds()
+		phase("table1", r.Table1WallNs, 1)
 		if *baseNs > 0 {
 			r.Table1BaselineWallNs = *baseNs
 			r.Table1Speedup = float64(*baseNs) / float64(r.Table1WallNs)
 		}
+	}
+
+	if obs.Mx != nil {
+		obs.Mx.Gauge("bench.compile_cold_ns_op", r.CompileColdNsOp)
+		obs.Mx.Gauge("bench.compile_cached_ns_op", r.CompileCachedNsOp)
+		obs.Mx.Gauge("bench.invocation_ns_op", r.InvocationNsOp)
+		if r.Table1WallNs > 0 {
+			obs.Mx.Gauge("bench.table1_wall_ns", r.Table1WallNs)
+		}
+	}
+	if err := obs.Flush(); err != nil {
+		fatalf("trace: %v", err)
 	}
 
 	enc, err := json.MarshalIndent(&r, "", "  ")

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	peak-consistency [-machine sparc2] [-noise spikes] [-workers 8] [-progress]
+//	peak-consistency -trace t1.jsonl -metrics   # record cell events + counters
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"peak"
+	"peak/internal/cli"
 	"peak/internal/experiments"
 	"peak/internal/sched"
 )
@@ -24,6 +26,8 @@ func main() {
 	noiseName := flag.String("noise", "", "noise regime (baseline, gauss4x, spikes, drift, bursts); empty = machine default")
 	workers := flag.Int("workers", 1, "parallel workers (0 = GOMAXPROCS); any value gives identical output")
 	progress := flag.Bool("progress", false, "print live scheduler status and a final utilization summary")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (analyze with peak-trace)")
+	metrics := flag.Bool("metrics", false, "print the metrics table to stderr after the run")
 	flag.Parse()
 
 	m, ok := peak.MachineByName(*machName)
@@ -45,13 +49,15 @@ func main() {
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
-	rows, err := peak.Table1On(m, &cfg, pool)
+	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	rows, err := peak.Table1Traced(m, &cfg, pool, obs.Buf, obs.Mx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)
 		if len(rows) > 0 {
 			fmt.Fprintf(os.Stderr, "peak-consistency: flushing %d partial row(s)\n", len(rows))
 			fmt.Print(experiments.FormatTable1(rows, experiments.PaperWindows))
 		}
+		obs.Flush()
 		os.Exit(1)
 	}
 	fmt.Printf("Table 1: consistency of rating approaches on %s\n", m.Name)
@@ -60,5 +66,10 @@ func main() {
 	stopProgress()
 	if *progress {
 		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+	}
+	pool.Stats().FillMetrics(obs.Mx, pool.Workers())
+	if err := obs.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "peak-consistency: trace: %v\n", err)
+		os.Exit(1)
 	}
 }

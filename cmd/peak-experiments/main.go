@@ -28,6 +28,8 @@
 //	peak-experiments -faults          # tuning under injected faults
 //	peak-experiments -checkpoint run.jsonl   # journal every round
 //	peak-experiments -resume run.jsonl       # continue a killed run
+//	peak-experiments -trace fig7.jsonl       # record a trace (analyze: peak-trace)
+//	peak-experiments -metrics                # print the metrics table to stderr
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"peak"
+	"peak/internal/cli"
 	"peak/internal/experiments"
 	"peak/internal/sched"
 )
@@ -55,6 +58,8 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 2023, "fault-injection seed for -faults")
 	checkpoint := flag.String("checkpoint", "", "checkpoint journal path: save resumable state after every tuning round")
 	resume := flag.String("resume", "", "resume from an existing checkpoint journal (pass the same other flags)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (analyze with peak-trace)")
+	metrics := flag.Bool("metrics", false, "print the metrics table to stderr after the run")
 	flag.Parse()
 
 	var machines []*peak.Machine
@@ -109,16 +114,26 @@ func main() {
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
+	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
 	finish := func(code int) {
 		stopProgress()
 		if *progress {
 			fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
 		}
+		pool.Stats().FillMetrics(obs.Mx, pool.Workers())
 		if journal != nil {
+			journal.FillMetrics(obs.Mx)
 			journal.Sync()
 			journal.Close()
 			if code != 0 {
 				fmt.Fprintf(os.Stderr, "peak-experiments: continue with: peak-experiments -resume %s (plus the same flags)\n", journalPath)
+			}
+		}
+		// A partial trace of a failed run is still a valid trace.
+		if err := obs.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "peak-experiments: trace: %v\n", err)
+			if code == 0 {
+				code = 1
 			}
 		}
 		os.Exit(code)
@@ -129,7 +144,7 @@ func main() {
 
 	if *noiseRep {
 		for i, m := range machines {
-			report, err := peak.NoiseReport(m, &cfg, pool)
+			report, err := peak.NoiseReportTraced(m, &cfg, pool, obs.Buf, obs.Mx)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 				finish(1)
@@ -145,7 +160,7 @@ func main() {
 	if *faultsRep {
 		plan := peak.UniformFaults(*faultRate, *faultSeed)
 		for i, m := range machines {
-			bars, err := peak.FaultReportBars(peak.Figure7Benchmarks(), m, &cfg, plan, pool, journal)
+			bars, err := peak.FaultReportBarsTraced(peak.Figure7Benchmarks(), m, &cfg, plan, pool, journal, obs.Buf, obs.Mx)
 			if i > 0 {
 				fmt.Println()
 			}
@@ -171,7 +186,7 @@ func main() {
 	}
 	var all []peak.Fig7Entry
 	for _, m := range machines {
-		entries, err := experiments.Figure7Journaled(peak.Figure7Benchmarks(), m, &cfg, pool, cache, journal)
+		entries, err := experiments.Figure7Traced(peak.Figure7Benchmarks(), m, &cfg, pool, cache, journal, obs.Buf, obs.Mx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 			if len(entries) > 0 {
@@ -186,6 +201,9 @@ func main() {
 	}
 	if *cacheStats && cache != nil {
 		fmt.Fprintln(os.Stderr, cache.Stats().Summary())
+	}
+	if cache != nil {
+		cache.Stats().FillMetrics(obs.Mx)
 	}
 
 	if *headline {

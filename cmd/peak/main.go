@@ -6,6 +6,8 @@
 //
 //	peak -bench ART -machine p4 [-method RBR] [-dataset train] [-workers 8] [-v]
 //	peak -bench SWIM -noise spikes    # tune under a stress noise regime
+//	peak -bench ART -trace art.jsonl  # record a trace (analyze: peak-trace)
+//	peak -bench ART -metrics          # print the metrics table to stderr
 //	peak -list
 package main
 
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"peak"
+	"peak/internal/cli"
 	"peak/internal/opt"
 	"peak/internal/sched"
 )
@@ -35,6 +38,8 @@ func main() {
 		faults    = flag.Bool("faults", false, "tune under injected faults (compile failures, miscompiles, hangs, panics)")
 		faultRate = flag.Float64("faultrate", 0.05, "uniform fault rate for -faults (miscompiles injected at rate/10)")
 		faultSeed = flag.Int64("faultseed", 2023, "fault-injection seed for -faults")
+		tracePath = flag.String("trace", "", "write a JSONL event trace of the tune to this file (analyze with peak-trace)")
+		metrics   = flag.Bool("metrics", false, "print the metrics table to stderr after the tune")
 		verbose   = flag.Bool("v", false, "print profile and consultant details")
 	)
 	flag.Parse()
@@ -107,16 +112,17 @@ func main() {
 	if *progress {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
+	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
 
 	var res *peak.TuneResult
 	if *method == "" {
-		res, err = peak.TuneBenchmarkOn(b, m, &cfg, pool)
+		res, err = peak.TuneBenchmarkTraced(b, m, &cfg, pool, nil, obs.Buf, obs.Mx)
 	} else {
 		mm, ok := peak.ParseMethodName(*method)
 		if !ok {
 			fatalf("unknown method %q", *method)
 		}
-		res, err = peak.TuneWithMethodOn(b, m, mm, ds, &cfg, pool)
+		res, err = peak.TuneWithMethodTraced(b, m, mm, ds, &cfg, pool, obs.Buf, obs.Mx)
 	}
 	if err != nil {
 		fatalf("tune: %v", err)
@@ -124,6 +130,10 @@ func main() {
 	stopProgress()
 	if *progress {
 		fmt.Fprintln(os.Stderr, pool.Stats().Summary(pool.Workers()))
+	}
+	pool.Stats().FillMetrics(obs.Mx, pool.Workers())
+	if err := obs.Flush(); err != nil {
+		fatalf("trace: %v", err)
 	}
 
 	fmt.Printf("benchmark:      %s/%s on %s\n", b.Name, b.TSName, m.Name)

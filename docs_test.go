@@ -1,6 +1,7 @@
 package peak
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -62,5 +63,100 @@ func TestPackageDocsPresent(t *testing.T) {
 	}
 	if len(seen) < 15 {
 		t.Fatalf("only %d package dirs scanned — walk is broken", len(seen))
+	}
+}
+
+// TestTraceExportedDocsPresent holds the observability layer to a
+// stricter floor than the package-comment rule: every exported
+// declaration of internal/trace — each event kind and metric kind
+// constant, every type, function and method — must carry its own doc
+// comment, and every exported field of the Event struct must too,
+// because OBSERVABILITY.md's event-schema reference is written against
+// those comments and silently drifts when they go missing.
+func TestTraceExportedDocsPresent(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "trace"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g != nil && strings.TrimSpace(g.Text()) != "" {
+				return true
+			}
+		}
+		return false
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					checked++
+					if !documented(d.Doc) {
+						t.Errorf("%s: exported %s has no doc comment",
+							fset.Position(d.Pos()), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							checked++
+							if !documented(d.Doc, s.Doc, s.Comment) {
+								t.Errorf("%s: exported type %s has no doc comment",
+									fset.Position(s.Pos()), s.Name.Name)
+							}
+							// The Event struct is the wire schema: every
+							// exported field needs its own comment.
+							if s.Name.Name != "Event" {
+								continue
+							}
+							st, ok := s.Type.(*ast.StructType)
+							if !ok {
+								t.Errorf("Event is not a struct")
+								continue
+							}
+							for _, fld := range st.Fields.List {
+								for _, nm := range fld.Names {
+									if !nm.IsExported() {
+										continue
+									}
+									checked++
+									if !documented(fld.Doc, fld.Comment) {
+										t.Errorf("%s: Event field %s has no doc comment",
+											fset.Position(nm.Pos()), nm.Name)
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							for _, nm := range s.Names {
+								if !nm.IsExported() {
+									continue
+								}
+								checked++
+								if !documented(d.Doc, s.Doc, s.Comment) {
+									t.Errorf("%s: exported %s has no doc comment",
+										fset.Position(nm.Pos()), nm.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// 14 event kinds + the Event fields alone clear this floor; a low
+	// count means the parse silently matched nothing.
+	if checked < 40 {
+		t.Fatalf("only %d exported declarations checked — parse is broken", checked)
 	}
 }

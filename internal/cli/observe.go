@@ -1,0 +1,70 @@
+// Package cli holds the observability plumbing shared by the command-line
+// tools: every cmd exposes the same -trace/-metrics flag pair, and an
+// Observer turns that pair into the (possibly nil) trace buffer and
+// metrics registry the engine and experiment drivers accept.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"peak/internal/trace"
+)
+
+// Observer bundles one command invocation's observability outputs. Build
+// it after flag parsing with NewObserver, thread Buf and Mx into the
+// tuning or experiment entry points (both are nil when the corresponding
+// flag is off — every consumer is nil-safe), and call Flush exactly once
+// before exiting. Error paths should flush too: a partial trace of a
+// failed run is still a valid, analyzable trace.
+type Observer struct {
+	// Buf is the run's trace buffer (nil when -trace is off).
+	Buf *trace.Buffer
+	// Mx is the run's metrics registry (nil when -metrics is off).
+	Mx *trace.Metrics
+
+	tracePath string
+	metricsTo io.Writer
+}
+
+// NewObserver returns an observer for one command run: tracePath is the
+// -trace destination ("" disables tracing), metrics enables the -metrics
+// registry, and metricsTo receives the formatted metrics table on Flush
+// (stderr in the cmds, keeping the results on stdout byte-identical with
+// observability on or off).
+func NewObserver(tracePath string, metrics bool, metricsTo io.Writer) *Observer {
+	o := &Observer{tracePath: tracePath, metricsTo: metricsTo}
+	if tracePath != "" {
+		o.Buf = trace.NewBuffer()
+	}
+	if metrics {
+		o.Mx = trace.NewMetrics()
+	}
+	return o
+}
+
+// Flush writes the buffered trace to the -trace file and the metrics
+// table to the observer's writer. Safe to call when both outputs are
+// disabled; returns the first write error.
+func (o *Observer) Flush() error {
+	if o.Buf != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		tr := trace.NewTracer(f)
+		tr.Flush(o.Buf)
+		if err := tr.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", o.tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("write %s: %w", o.tracePath, err)
+		}
+	}
+	if o.Mx != nil && o.metricsTo != nil {
+		fmt.Fprint(o.metricsTo, o.Mx.Format())
+	}
+	return nil
+}

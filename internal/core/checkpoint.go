@@ -7,6 +7,7 @@ import (
 
 	"peak/internal/fault"
 	"peak/internal/opt"
+	"peak/internal/trace"
 )
 
 // engineState is the checkpoint snapshot the engine appends to its journal
@@ -106,9 +107,20 @@ func (e *engine) checkpoint(round int, current opt.FlagSet, candidates []opt.Fla
 	if err != nil {
 		return fmt.Errorf("tune %s: marshal checkpoint: %w", e.t.Bench.Name, err)
 	}
-	return e.journal.Append(fault.Record{
+	if err := e.journal.Append(fault.Record{
 		Kind: "tune", ID: e.ckptID, Round: round, Stopped: stopped, State: b,
-	})
+	}); err != nil {
+		return err
+	}
+	if e.tb != nil {
+		ev := trace.Event{Kind: trace.KindCheckpoint, Round: round + 1,
+			Count: int64(len(b)), Cycles: e.res.TuningCycles}
+		if stopped {
+			ev.Outcome = "stopped"
+		}
+		e.emit(ev)
+	}
+	return nil
 }
 
 // restore rebuilds the engine from a checkpoint snapshot. It re-resolves

@@ -17,6 +17,7 @@ import (
 	"peak/internal/sched"
 	"peak/internal/sim"
 	"peak/internal/stats"
+	"peak/internal/trace"
 	"peak/internal/vcache"
 )
 
@@ -62,6 +63,15 @@ type Tuner struct {
 	// "bench/machine/method/dataset".
 	Journal      *fault.Journal
 	CheckpointID string
+
+	// Trace, when set, records the tuning process as structured events
+	// (internal/trace): round boundaries, per-flag ratings, cache
+	// resolutions, dedup skips, fault recovery, checkpoints. All events
+	// are emitted on the round-reduction path in candidate order and keyed
+	// by simulated cycles, so the buffer's contents are byte-identical at
+	// any worker count and with the cache on or off. Nil disables tracing
+	// at the cost of one pointer test per emission site.
+	Trace *trace.Buffer
 }
 
 // TuneResult reports a finished tuning process.
@@ -178,6 +188,15 @@ type engine struct {
 	verifyCycles   int64 // golden-output verification time
 	verifyInv      int64
 
+	// tb is the trace buffer (nil = tracing off); id the tune identity
+	// stamped on every event ("bench/machine/method/dataset"); fpFirst
+	// maps each code fingerprint to the label of the flag set that first
+	// produced it, for "shared" cache events. fpFirst is touched only on
+	// the reduction path, so it needs no lock.
+	tb      *trace.Buffer
+	id      string
+	fpFirst map[uint64]string
+
 	res      *TuneResult
 	switched int
 	// sharedInv counts the TS invocations the non-WHL rating jobs consumed.
@@ -192,6 +211,10 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 	e, err := t.newEngine()
 	if err != nil {
 		return nil, err
+	}
+	if e.tb != nil {
+		e.emit(trace.Event{Kind: trace.KindTuneStart,
+			Method: e.methods[e.mi].String(), Detail: t.Dataset.Name})
 	}
 	if err := e.iterativeElimination(); err != nil {
 		return nil, err
@@ -229,6 +252,9 @@ func (t *Tuner) Tune() (*TuneResult, error) {
 		e.res.TuningCycles += e.faultCycles + e.verifyCycles
 		e.res.CompileRetries = e.compileRetries
 		e.res.VerifyInvocations = e.verifyInv
+	}
+	if e.tb != nil {
+		e.emitTuneEnd()
 	}
 	return e.res, nil
 }
@@ -295,16 +321,33 @@ func (t *Tuner) newEngine() (*engine, error) {
 			e.ckptID = fmt.Sprintf("%s/%s/%s/%s", t.Bench.Name, t.Mach.Name, method, t.Dataset.Name)
 		}
 	}
+	if t.Trace != nil {
+		e.tb = t.Trace
+		method := "auto"
+		if t.Force != nil {
+			method = t.Force.String()
+		}
+		e.id = fmt.Sprintf("%s/%s/%s/%s", t.Bench.Name, t.Mach.Name, method, t.Dataset.Name)
+		e.fpFirst = map[uint64]string{}
+	}
 	return e, nil
 }
 
 // versionInfo is a resolved compilation: the frozen version, its code
 // fingerprint (vcache.Fingerprint), and — with fault injection on —
-// whether golden-output verification flagged it as miscompiled.
+// whether golden-output verification flagged it as miscompiled. The
+// trailing fields record the resolution's one-time costs (injected
+// compile retries, their backoff, verification time) for cache trace
+// events; they are pure functions of the compile identity, so they are
+// the same whichever call resolved the flag set first.
 type versionInfo struct {
 	v           *sim.Version
 	fp          uint64
 	quarantined bool
+
+	retries      int
+	retryCycles  int64
+	verifyCycles int64
 }
 
 // version returns the resolved compilation of the TS under fs, compiling,
@@ -339,6 +382,8 @@ func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
 		return vi, nil
 	}
 	var idKey string
+	var retries int
+	var retryCycles int64
 	if e.faults != nil {
 		idKey = fmt.Sprintf("%d/%s/%s/%s", e.progKey, e.ts.Name, fs, e.t.Mach.Name)
 		n := e.faults.CompileFailures(idKey)
@@ -346,11 +391,13 @@ func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
 			return versionInfo{}, fmt.Errorf("tune %s: compile %s: injected compiler crash persisted: %w",
 				e.t.Bench.Name, fs, fault.ErrRetriesExhausted)
 		}
+		retries = n
+		for i := 0; i < n; i++ {
+			retryCycles += e.faults.Backoff(i)
+		}
 		if !e.restoring {
 			e.compileRetries += n
-			for i := 0; i < n; i++ {
-				e.faultCycles += e.faults.Backoff(i)
-			}
+			e.faultCycles += retryCycles
 		}
 	}
 	compile := func() (*sim.Version, error) {
@@ -377,12 +424,15 @@ func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
 		v.Freeze()
 		vi = versionInfo{v: v, fp: vcache.Fingerprint(v)}
 	}
+	vi.retries = retries
+	vi.retryCycles = retryCycles
 	if e.faults != nil && fs != opt.O3() {
 		quarantined, cycles, inv, err := e.verifyLocked(vi.v)
 		if err != nil {
 			return versionInfo{}, err
 		}
 		vi.quarantined = quarantined
+		vi.verifyCycles = cycles
 		if !e.restoring {
 			e.verifyCycles += cycles
 			e.verifyInv += inv
@@ -393,6 +443,18 @@ func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
 	}
 	e.local[fs] = vi
 	return vi, nil
+}
+
+// versionFresh is version() plus a report of whether the call resolved
+// the flag set for the first time — the hit/miss bit of the trace's
+// cache events. Used only by the round reduction's precompile walk, so
+// the extra map probe never touches the rating hot path.
+func (e *engine) versionFresh(fs opt.FlagSet) (versionInfo, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, seen := e.local[fs]
+	vi, err := e.resolveLocked(fs)
+	return vi, !seen, err
 }
 
 // ratingCtx is one rating job's private execution context: simulated
@@ -409,9 +471,11 @@ type ratingCtx struct {
 
 	// hangs is the job's measurement-hang fault stream (nil when fault
 	// injection is off); measureRetries counts the hung measurements this
-	// job killed and retried.
+	// job killed and retried; retryCycles the share of cycles spent on
+	// their timeouts and backoff (for the trace's time breakdown).
 	hangs          *fault.MeasureStream
 	measureRetries int
+	retryCycles    int64
 
 	dsIdx     int
 	runActive bool
@@ -449,6 +513,7 @@ func (c *ratingCtx) hangBeforeMeasure() error {
 	}
 	retries, cost, err := c.hangs.HangRetries()
 	c.cycles += cost
+	c.retryCycles += cost
 	c.measureRetries += retries
 	return err
 }
@@ -715,29 +780,48 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 	// inherit its rating. Fingerprints depend only on the compiler, never on
 	// scheduling or the rating method, so the grouping — and therefore every
 	// skip — is identical at any worker count and with the cache on or off.
-	baseVI, err := e.version(current)
+	traced := e.tb != nil
+	baseVI, baseFresh, err := e.versionFresh(current)
 	if err != nil {
 		return nil, nil, err
+	}
+	if traced {
+		e.emitCache(round, 0, baseLabel, baseVI, baseFresh)
 	}
 	baseFP := baseVI.fp
 	leaderOf := make([]int, len(candidates)) // -1: identical to base; -2: quarantined
 	firstByFP := make(map[uint64]int, len(candidates))
 	var leaders []int
 	for i, f := range candidates {
-		vi, err := e.version(current.Without(f))
+		vi, fresh, err := e.versionFresh(current.Without(f))
 		if err != nil {
 			return nil, nil, err
+		}
+		if traced {
+			e.emitCache(round, i+1, f.String(), vi, fresh)
 		}
 		if vi.quarantined {
 			leaderOf[i] = -2
 			quarantined = append(quarantined, i)
+			if traced {
+				e.emit(trace.Event{Kind: trace.KindQuarantine, Round: round + 1,
+					Ordinal: i + 1, Flag: f.String()})
+			}
 			continue
 		}
 		switch first, ok := firstByFP[vi.fp]; {
 		case vi.fp == baseFP:
 			leaderOf[i] = -1
+			if traced {
+				e.emit(trace.Event{Kind: trace.KindDedup, Round: round + 1,
+					Ordinal: i + 1, Flag: f.String(), Leader: baseLabel})
+			}
 		case ok:
 			leaderOf[i] = first
+			if traced {
+				e.emit(trace.Event{Kind: trace.KindDedup, Round: round + 1,
+					Ordinal: i + 1, Flag: f.String(), Leader: candidates[first].String()})
+			}
 		default:
 			firstByFP[vi.fp] = i
 			leaderOf[i] = i
@@ -760,6 +844,9 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				return nil, nil, b.err
 			}
 			e.account(&b)
+			if traced {
+				e.emitRate(round, 0, baseLabel, &b)
+			}
 			baseRating = b.rating
 			baseEval = b.rating.EVAL
 			baseConverged = b.converged
@@ -784,6 +871,13 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 				return nil, nil, r.err
 			}
 			e.account(r)
+			if traced {
+				e.emitRate(round, i+1, candidates[i].String(), r)
+				if r.escalated {
+					e.emit(trace.Event{Kind: trace.KindEscalate, Round: round + 1,
+						Ordinal: i + 1, Flag: candidates[i].String(), Method: MethodRBR.String()})
+				}
+			}
 			if r.escalated {
 				e.res.Escalations++
 				e.res.EscalatedFlags = append(e.res.EscalatedFlags, candidates[i])
@@ -801,6 +895,10 @@ func (e *engine) rateRound(round int, current opt.FlagSet, candidates []opt.Flag
 			// re-rate the round — the base rating's units no longer match.
 			e.mi++
 			e.switched++
+			if traced {
+				e.emit(trace.Event{Kind: trace.KindMethodSwitch, Round: round + 1,
+					Method: e.methods[e.mi].String(), Detail: m.String()})
+			}
 			continue
 		}
 		// Converged, or last resort: accept the ratings as they stand.
@@ -878,6 +976,10 @@ func (e *engine) iterativeElimination() error {
 
 	for round := startRound; round < maxRounds && !stopped; round++ {
 		e.res.Rounds = round + 1
+		if e.tb != nil {
+			e.emit(trace.Event{Kind: trace.KindRoundStart, Round: round + 1,
+				Method: e.methods[e.mi].String(), Count: int64(len(candidates))})
+		}
 		imps, quarantined, err := e.rateRound(round, current, candidates)
 		if err != nil {
 			return err
@@ -910,6 +1012,16 @@ func (e *engine) iterativeElimination() error {
 				}
 			}
 			candidates = kept
+		}
+		if e.tb != nil {
+			ev := trace.Event{Kind: trace.KindRoundEnd, Round: round + 1,
+				Outcome: "stopped", Cycles: e.res.TuningCycles}
+			if bestIdx >= 0 {
+				ev.Outcome = "removed"
+				ev.Flag = e.res.Removed[len(e.res.Removed)-1].String()
+				ev.Improvement = bestImp
+			}
+			e.emit(ev)
 		}
 		if err := e.checkpoint(round, current, candidates, stopped); err != nil {
 			return err

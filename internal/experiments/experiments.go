@@ -17,6 +17,7 @@ import (
 	"peak/internal/opt"
 	"peak/internal/profiling"
 	"peak/internal/sched"
+	"peak/internal/trace"
 	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
@@ -40,12 +41,24 @@ func Table1(m *machine.Machine, windows []int, cfg *core.Config) ([]core.Consist
 // benchmark) are still returned with the first error, so callers can flush
 // partial results; a panicking benchmark job is recovered into an error.
 func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Pool) ([]core.ConsistencyRow, error) {
+	return Table1Traced(m, windows, cfg, pool, nil, nil)
+}
+
+// Table1Traced is Table1On with observability: a non-nil trace buffer
+// receives one "cell" event per (consistency row, window size), flushed
+// in benchmark order after the parallel grid completes, and a non-nil
+// metrics registry accumulates the grid totals. Both follow the
+// determinism contract: each job emits into its own buffer and the
+// reduction folds them in input order, so the trace bytes are identical
+// at any worker count.
+func Table1Traced(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics) ([]core.ConsistencyRow, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
 	benches := workloads.All()
 	type result struct {
 		rows []core.ConsistencyRow
+		tb   *trace.Buffer
 		err  error
 	}
 	results := make([]result, len(benches))
@@ -63,7 +76,24 @@ func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Po
 		}
 		method := core.Consult(p, cfg).Chosen()
 		rs, err := core.Consistency(b, m, p, method, windows, cfg)
-		results[i] = result{rows: rs, err: err}
+		var jtb *trace.Buffer
+		if tb != nil && err == nil {
+			jtb = trace.NewBuffer()
+			for _, row := range rs {
+				section := row.Section
+				if row.Context != "" {
+					section += "(" + row.Context + ")"
+				}
+				for _, w := range windows {
+					ws := row.Windows[w]
+					jtb.Emit(trace.Event{Kind: trace.KindCell,
+						Detail: fmt.Sprintf("table1/%s/%s/%s", b.Name, m.Name, section),
+						Method: row.Method.String(), Count: int64(w),
+						Mu: ws.Mu, Sigma: ws.Sigma})
+				}
+			}
+		}
+		results[i] = result{rows: rs, tb: jtb, err: err}
 	})
 	var rows []core.ConsistencyRow
 	for _, r := range results {
@@ -71,6 +101,10 @@ func Table1On(m *machine.Machine, windows []int, cfg *core.Config, pool sched.Po
 			return rows, r.err
 		}
 		rows = append(rows, r.rows...)
+		tb.Append(r.tb)
+		if mx != nil {
+			mx.Add("experiments.table1_rows", int64(len(r.rows)))
+		}
 	}
 	return rows, nil
 }
@@ -177,11 +211,26 @@ func Figure7OnCached(benches []*bench.Benchmark, m *machine.Machine, cfg *core.C
 // panicking benchmark job is recovered into such an error rather than
 // taking down the whole run.
 func Figure7Journaled(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal) ([]Fig7Entry, error) {
+	return Figure7Traced(benches, m, cfg, pool, cache, j, nil, nil)
+}
+
+// Figure7Traced is Figure7Journaled with observability: a non-nil trace
+// buffer receives every tuning process's event stream (internal/trace)
+// and a non-nil metrics registry accumulates the per-tune counters. Each
+// coarse benchmark job emits into its own buffer and registry; the
+// reduction folds them in input order after the parallel phase, so the
+// trace bytes — like the entries — are identical at any worker count and
+// with the cache on or off. On error, the buffers of the benchmarks
+// completed before the failure are still flushed (matching the partial
+// entries).
+func Figure7Traced(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal, tb *trace.Buffer, mx *trace.Metrics) ([]Fig7Entry, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
 	type result struct {
 		entries []Fig7Entry
+		tb      *trace.Buffer
+		mx      *trace.Metrics
 		err     error
 	}
 	results := make([]result, len(benches))
@@ -191,8 +240,16 @@ func Figure7Journaled(benches []*bench.Benchmark, m *machine.Machine, cfg *core.
 				results[i] = result{err: fmt.Errorf("figure 7 %s: panic: %v", benches[i].Name, r)}
 			}
 		}()
-		entries, err := figure7One(benches[i], m, cfg, pool, cache, j)
-		results[i] = result{entries, err}
+		var jtb *trace.Buffer
+		if tb != nil {
+			jtb = trace.NewBuffer()
+		}
+		var jmx *trace.Metrics
+		if mx != nil {
+			jmx = trace.NewMetrics()
+		}
+		entries, err := figure7One(benches[i], m, cfg, pool, cache, j, jtb, jmx)
+		results[i] = result{entries, jtb, jmx, err}
 	})
 	var out []Fig7Entry
 	for _, r := range results {
@@ -200,11 +257,13 @@ func Figure7Journaled(benches []*bench.Benchmark, m *machine.Machine, cfg *core.
 			return out, r.err
 		}
 		out = append(out, r.entries...)
+		tb.Append(r.tb)
+		mx.Merge(r.mx)
 	}
 	return out, nil
 }
 
-func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal) ([]Fig7Entry, error) {
+func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, cache *vcache.Cache, j *fault.Journal, tb *trace.Buffer, mx *trace.Metrics) ([]Fig7Entry, error) {
 	var out []Fig7Entry
 	{
 		pTrain, err := profiling.Run(b, b.Train, m)
@@ -228,11 +287,11 @@ func figure7One(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pool s
 			method := method
 			e := Fig7Entry{Benchmark: b.Name, Method: method, Chosen: method == chosen}
 
-			trainRes, err := tuneForcedJ(b, b.Train, m, pTrain, method, cfg, pool, cache, j)
+			trainRes, err := tuneTraced(b, b.Train, m, pTrain, method, cfg, pool, cache, j, tb, mx)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s train: %w", b.Name, method, err)
 			}
-			refRes, err := tuneForcedJ(b, b.Ref, m, pRef, method, cfg, pool, cache, j)
+			refRes, err := tuneTraced(b, b.Ref, m, pRef, method, cfg, pool, cache, j, tb, mx)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s ref: %w", b.Name, method, err)
 			}
@@ -293,21 +352,28 @@ func forceable(p *profiling.Profile, cfg *core.Config) []core.Method {
 func tuneForced(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
 	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool,
 	cache *vcache.Cache) (*core.TuneResult, error) {
-	return tuneForcedJ(b, ds, m, p, method, cfg, pool, cache, nil)
+	return tuneTraced(b, ds, m, p, method, cfg, pool, cache, nil, nil, nil)
 }
 
-// tuneForcedJ is tuneForced with an optional checkpoint journal; the
-// engine derives the checkpoint ID "bench/machine/method/dataset", unique
-// per tune of a Figure-7 run.
-func tuneForcedJ(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
+// tuneTraced runs one forced-method tune with the full option set: an
+// optional checkpoint journal (the engine derives the checkpoint ID
+// "bench/machine/method/dataset", unique per tune of a Figure-7 run), an
+// optional trace buffer — owned by the calling coarse job, which is also
+// the tune's reduction goroutine, so emission stays single-threaded —
+// and an optional metrics registry receiving the tune's counters.
+func tuneTraced(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
 	p *profiling.Profile, method core.Method, cfg *core.Config, pool sched.Pool,
-	cache *vcache.Cache, j *fault.Journal) (*core.TuneResult, error) {
+	cache *vcache.Cache, j *fault.Journal, tb *trace.Buffer, mx *trace.Metrics) (*core.TuneResult, error) {
 	forced := method
 	tu := &core.Tuner{
 		Bench: b, Mach: m, Dataset: ds, Cfg: *cfg, Profile: p, Force: &forced,
-		Pool: pool, Cache: cache, Journal: j,
+		Pool: pool, Cache: cache, Journal: j, Trace: tb,
 	}
-	return tu.Tune()
+	res, err := tu.Tune()
+	if err == nil {
+		res.FillMetrics(mx)
+	}
+	return res, err
 }
 
 // FormatFigure7 renders the entries as the two panels of Figure 7 for one

@@ -11,6 +11,7 @@ import (
 	"peak/internal/opt"
 	"peak/internal/profiling"
 	"peak/internal/sched"
+	"peak/internal/trace"
 	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
@@ -65,6 +66,17 @@ func FaultReport(m *machine.Machine, cfg *core.Config, plan *fault.Plan, pool sc
 // so far are still returned (partial results, in input order up to the
 // first failed benchmark) together with the first error.
 func FaultReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, plan *fault.Plan, pool sched.Pool, j *fault.Journal) ([]FaultBar, error) {
+	return FaultReportTraced(benches, m, cfg, plan, pool, j, nil, nil)
+}
+
+// FaultReportTraced is FaultReportFor with observability: a non-nil
+// trace buffer receives the event streams of the *faulted* tunes (the
+// fault-free twins stay untraced — they would collide with the faulted
+// tunes' identities and tell a story the Figure-7 trace already tells);
+// a non-nil metrics registry accumulates both tunes' counters. Per-
+// benchmark buffers are folded in input order, so the trace bytes are
+// identical at any worker count.
+func FaultReportTraced(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, plan *fault.Plan, pool sched.Pool, j *fault.Journal, tb *trace.Buffer, mx *trace.Metrics) ([]FaultBar, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
@@ -74,6 +86,8 @@ func FaultReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 	}
 	type result struct {
 		bars []FaultBar
+		tb   *trace.Buffer
+		mx   *trace.Metrics
 		err  error
 	}
 	results := make([]result, len(benches))
@@ -83,8 +97,16 @@ func FaultReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 				results[i] = result{err: fmt.Errorf("fault report %s: panic: %v", benches[i].Name, r)}
 			}
 		}()
-		bars, err := faultReportOne(benches[i], m, cfg, plan, pool, cache, j)
-		results[i] = result{bars, err}
+		var jtb *trace.Buffer
+		if tb != nil {
+			jtb = trace.NewBuffer()
+		}
+		var jmx *trace.Metrics
+		if mx != nil {
+			jmx = trace.NewMetrics()
+		}
+		bars, err := faultReportOne(benches[i], m, cfg, plan, pool, cache, j, jtb, jmx)
+		results[i] = result{bars, jtb, jmx, err}
 	})
 	var out []FaultBar
 	for _, r := range results {
@@ -92,11 +114,13 @@ func FaultReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 			return out, r.err
 		}
 		out = append(out, r.bars...)
+		tb.Append(r.tb)
+		mx.Merge(r.mx)
 	}
 	return out, nil
 }
 
-func faultReportOne(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, plan *fault.Plan, pool sched.Pool, cache *vcache.Cache, j *fault.Journal) ([]FaultBar, error) {
+func faultReportOne(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, plan *fault.Plan, pool sched.Pool, cache *vcache.Cache, j *fault.Journal, tb *trace.Buffer, mx *trace.Metrics) ([]FaultBar, error) {
 	p, err := profiling.Run(b, b.Train, m)
 	if err != nil {
 		return nil, err
@@ -105,18 +129,13 @@ func faultReportOne(b *bench.Benchmark, m *machine.Machine, cfg *core.Config, pl
 	for _, method := range forceable(p, cfg) {
 		cleanCfg := *cfg
 		cleanCfg.Faults = nil
-		clean, err := tuneForced(b, b.Train, m, p, method, &cleanCfg, pool, cache)
+		clean, err := tuneTraced(b, b.Train, m, p, method, &cleanCfg, pool, cache, nil, nil, mx)
 		if err != nil {
 			return bars, fmt.Errorf("%s %s fault-free: %w", b.Name, method, err)
 		}
 		faultCfg := *cfg
 		faultCfg.Faults = plan
-		forced := method
-		tu := &core.Tuner{
-			Bench: b, Mach: m, Dataset: b.Train, Cfg: faultCfg, Profile: p,
-			Force: &forced, Pool: pool, Cache: cache, Journal: j,
-		}
-		faulted, err := tu.Tune()
+		faulted, err := tuneTraced(b, b.Train, m, p, method, &faultCfg, pool, cache, j, tb, mx)
 		if err != nil {
 			return bars, fmt.Errorf("%s %s faulted: %w", b.Name, method, err)
 		}

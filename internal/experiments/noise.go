@@ -11,6 +11,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/trace"
 	"peak/internal/workloads"
 )
 
@@ -85,11 +86,23 @@ func NoiseReport(m *machine.Machine, cfg *core.Config) (string, error) {
 // and cells are reduced in (benchmark, regime) order, so the report is
 // byte-identical at any worker count.
 func NoiseReportOn(m *machine.Machine, cfg *core.Config, pool sched.Pool) (string, error) {
-	return noiseReportFor(workloads.All(), m, cfg, pool)
+	return NoiseReportTraced(m, cfg, pool, nil, nil)
 }
 
-// noiseReportFor is NoiseReportOn over an explicit benchmark list.
-func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool) (string, error) {
+// NoiseReportTraced is NoiseReportOn with observability: a non-nil trace
+// buffer receives one "cell" event per (benchmark, regime) grid cell and
+// one "trials" event per (regime, decision rule) of the winner-picking
+// section; a non-nil metrics registry accumulates the grid totals. Cell
+// jobs emit into per-cell buffers flushed in grid order after the
+// parallel phase, so the trace bytes are byte-identical at any worker
+// count (the grid touches no compile cache, so -nocache trivially
+// matches too).
+func NoiseReportTraced(m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics) (string, error) {
+	return noiseReportFor(workloads.All(), m, cfg, pool, tb, mx)
+}
+
+// noiseReportFor is NoiseReportTraced over an explicit benchmark list.
+func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics) (string, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
@@ -98,6 +111,7 @@ func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 	type cell struct {
 		method core.Method
 		stat   core.WindowStat
+		tb     *trace.Buffer
 		err    error
 	}
 	cells := make([]cell, len(benches)*len(regimes))
@@ -118,11 +132,24 @@ func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 			return
 		}
 		// The dominant-context row carries the headline statistic.
-		cells[i] = cell{method: method, stat: rows[0].Windows[NoiseWindow]}
+		st := rows[0].Windows[NoiseWindow]
+		var ctb *trace.Buffer
+		if tb != nil {
+			ctb = trace.NewBuffer()
+			ctb.Emit(trace.Event{Kind: trace.KindCell,
+				Detail: fmt.Sprintf("noise/%s/%s/%s", b.Name, m.Name, regime.Name),
+				Method: method.String(), Count: NoiseWindow,
+				Mu: st.Mu, Sigma: st.Sigma})
+		}
+		cells[i] = cell{method: method, stat: st, tb: ctb}
 	})
 	for i := range cells {
 		if cells[i].err != nil {
 			return "", cells[i].err
+		}
+		tb.Append(cells[i].tb)
+		if mx != nil {
+			mx.Add("experiments.noise_cells", 1)
 		}
 	}
 
@@ -161,6 +188,24 @@ func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 		seed := sched.DeriveSeed(cfg.Seed, "noise-trials/"+r.Name)
 		ci := core.RunWinnerTrials(&cfgCI, r.Model, seed, noiseTrialCount, noiseTrialCycles, noiseTrialMargin)
 		se := core.RunWinnerTrials(&cfgSE, r.Model, seed, noiseTrialCount, noiseTrialCycles, noiseTrialMargin)
+		if tb != nil {
+			// The trial section runs serially on the reduction goroutine, so
+			// it emits straight into the report's buffer, stderr rule first
+			// (matching the printed column order).
+			tb.Emit(trace.Event{Kind: trace.KindTrials,
+				Detail: fmt.Sprintf("noise/%s/%s/stderr", m.Name, r.Name),
+				Counts: map[string]int64{"wrong_adopts": int64(se.WrongAdopts),
+					"misses": int64(se.Misses), "trials": int64(se.Trials),
+					"invocations": int64(se.Invocations)}})
+			tb.Emit(trace.Event{Kind: trace.KindTrials,
+				Detail: fmt.Sprintf("noise/%s/%s/CI", m.Name, r.Name),
+				Counts: map[string]int64{"wrong_adopts": int64(ci.WrongAdopts),
+					"misses": int64(ci.Misses), "trials": int64(ci.Trials),
+					"invocations": int64(ci.Invocations)}})
+		}
+		if mx != nil {
+			mx.Add("experiments.trial_invocations", int64(se.Invocations+ci.Invocations))
+		}
 		fmt.Fprintf(&sb, "%-10s %7d/%2d %7d/%2d %7d/%2d %7d/%2d %11.0f %11.0f\n",
 			r.Name,
 			se.WrongAdopts, se.Trials, ci.WrongAdopts, ci.Trials,

@@ -49,11 +49,11 @@ func TestNoiseReportDeterministic(t *testing.T) {
 	benches := []*bench.Benchmark{quickBenchmark()}
 	m := machine.SPARCII()
 	cfg := core.DefaultConfig()
-	serial, err := noiseReportFor(benches, m, &cfg, nil)
+	serial, err := noiseReportFor(benches, m, &cfg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := noiseReportFor(benches, m, &cfg, sched.New(8))
+	parallel, err := noiseReportFor(benches, m, &cfg, sched.New(8), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

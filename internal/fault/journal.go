@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"peak/internal/trace"
 )
 
 // Record is one journal entry: a completed unit of work identified by a
@@ -30,6 +32,11 @@ type Journal struct {
 	mu     sync.Mutex
 	f      *os.File // nil for an in-memory journal
 	latest map[string]Record
+	// appends counts records written by this process (loaded records do
+	// not count); appendBytes their serialized size. Both feed the
+	// "journal." metrics.
+	appends     int64
+	appendBytes int64
 }
 
 // NewJournal creates (truncating) the journal file at path.
@@ -89,6 +96,8 @@ func (j *Journal) Append(rec Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.latest[rec.ID] = rec
+	j.appends++
+	j.appendBytes += int64(len(b)) + 1
 	if j.f == nil {
 		return nil
 	}
@@ -96,6 +105,21 @@ func (j *Journal) Append(rec Record) error {
 		return fmt.Errorf("fault: append record: %w", err)
 	}
 	return nil
+}
+
+// FillMetrics folds the journal's counters into a metrics registry under
+// the "journal." prefix: records appended by this process, their
+// serialized bytes, and the resident checkpoint-ID count as a gauge.
+// No-op when m is nil.
+func (j *Journal) FillMetrics(m *trace.Metrics) {
+	if m == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m.Add("journal.appends", j.appends)
+	m.Add("journal.append_bytes", j.appendBytes)
+	m.Gauge("journal.ids", int64(len(j.latest)))
 }
 
 // Latest returns the most recent record for the checkpoint ID, if any.

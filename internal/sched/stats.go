@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"peak/internal/trace"
 )
 
 // Stats holds a pool's live instrumentation: job counts, simulated cycles
@@ -124,6 +126,23 @@ func (s *Stats) Summary(workers int) string {
 		line += fmt.Sprintf(" · %d job panic(s) recovered (first: %s)", n, s.FirstPanic())
 	}
 	return line
+}
+
+// FillMetrics folds the pool's counters into a metrics registry under
+// the "sched." prefix. Only the scheduling-independent totals are
+// exported (job counts, simulated cycles, recovered panics, plus the
+// worker count as a gauge) — wall and busy time are wall-clock and stay
+// out of the deterministic -metrics report; Summary prints them. No-op
+// when m is nil.
+func (s *Stats) FillMetrics(m *trace.Metrics, workers int) {
+	if m == nil {
+		return
+	}
+	m.Add("sched.jobs_queued", s.JobsQueued.Load())
+	m.Add("sched.jobs_done", s.JobsDone.Load())
+	m.Add("sched.cycles", s.Cycles.Load())
+	m.Add("sched.job_panics", s.JobPanics.Load())
+	m.Gauge("sched.workers", int64(workers))
 }
 
 // StartProgress emits the pool's status line to w every interval until

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MetricKind distinguishes accumulating counters from point-in-time
+// gauges when metric sets are merged: counters add, gauges overwrite.
+type MetricKind int
+
+// Metric kinds.
+const (
+	// Counter metrics accumulate across tunes and merges.
+	Counter MetricKind = iota
+	// Gauge metrics are last-write-wins snapshots (pool size, cache
+	// residency).
+	Gauge
+)
+
+// Metric is one named value in a snapshot: Name is the dotted metric
+// name ("core.tuning_cycles"), Kind its merge semantics, Value the
+// current total.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value int64
+}
+
+// Metrics is a registry of named counters and gauges. The registry is
+// not concurrency-safe: like Buffers, it is owned by the reduction path,
+// which folds per-unit totals in deterministic order. A nil *Metrics is
+// the disabled registry — every method is a no-op — so instrumented code
+// carries a nil when -metrics is off.
+type Metrics struct {
+	vals  map[string]int64
+	kinds map[string]MetricKind
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vals: map[string]int64{}, kinds: map[string]MetricKind{}}
+}
+
+// Enabled reports whether values recorded into m are kept.
+func (m *Metrics) Enabled() bool { return m != nil }
+
+// Add increments the named counter by delta. No-op on nil.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.vals[name] += delta
+	m.kinds[name] = Counter
+}
+
+// Gauge sets the named gauge to value. No-op on nil.
+func (m *Metrics) Gauge(name string, value int64) {
+	if m == nil {
+		return
+	}
+	m.vals[name] = value
+	m.kinds[name] = Gauge
+}
+
+// Get returns the current value of the named metric (0 if absent or nil
+// registry).
+func (m *Metrics) Get(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.vals[name]
+}
+
+// Merge folds other into m: counters add, gauges overwrite. Nil-safe on
+// both sides.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	for _, name := range other.names() {
+		if other.kinds[name] == Gauge {
+			m.Gauge(name, other.vals[name])
+		} else {
+			m.Add(name, other.vals[name])
+		}
+	}
+}
+
+// Snapshot returns the metrics sorted by name — the deterministic
+// presentation order. Nil registries snapshot empty.
+func (m *Metrics) Snapshot() []Metric {
+	if m == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(m.vals))
+	for _, name := range m.names() {
+		out = append(out, Metric{Name: name, Kind: m.kinds[name], Value: m.vals[name]})
+	}
+	return out
+}
+
+func (m *Metrics) names() []string {
+	names := make([]string, 0, len(m.vals))
+	for name := range m.vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Format renders the snapshot as an aligned name/value table, one metric
+// per line, sorted by name. The layout is documented in OBSERVABILITY.md
+// ("Metric catalog").
+func (m *Metrics) Format() string {
+	snap := m.Snapshot()
+	if len(snap) == 0 {
+		return "(no metrics recorded)\n"
+	}
+	width := 0
+	for _, mt := range snap {
+		if len(mt.Name) > width {
+			width = len(mt.Name)
+		}
+	}
+	var sb strings.Builder
+	for _, mt := range snap {
+		fmt.Fprintf(&sb, "%-*s %d\n", width, mt.Name, mt.Value)
+	}
+	return sb.String()
+}

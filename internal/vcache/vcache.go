@@ -25,6 +25,7 @@ import (
 
 	"peak/internal/opt"
 	"peak/internal/sim"
+	"peak/internal/trace"
 )
 
 // Key identifies one compilation: program identity (ProgramKey over the
@@ -89,6 +90,24 @@ type Stats struct {
 func (s Stats) Summary() string {
 	return fmt.Sprintf("vcache: %d lookups, %d hits, %d compiles (%d shared code), %d entries / %d versions, ~%d KiB",
 		s.Lookups, s.Hits, s.Misses, s.Shared, s.Entries, s.Versions, s.Bytes/1024)
+}
+
+// FillMetrics folds the snapshot into a metrics registry under the
+// "vcache." prefix: the flow totals as counters, the residency figures
+// (entries, versions, bytes, quarantined) as gauges. All values are
+// scheduling-independent (see the package comment). No-op when m is nil.
+func (s Stats) FillMetrics(m *trace.Metrics) {
+	if m == nil {
+		return
+	}
+	m.Add("vcache.lookups", s.Lookups)
+	m.Add("vcache.hits", s.Hits)
+	m.Add("vcache.misses", s.Misses)
+	m.Add("vcache.shared", s.Shared)
+	m.Gauge("vcache.entries", s.Entries)
+	m.Gauge("vcache.versions", s.Versions)
+	m.Gauge("vcache.bytes", s.Bytes)
+	m.Gauge("vcache.quarantined", s.Quarantined)
 }
 
 // Cache is a concurrency-safe compile cache. The zero value is not usable;

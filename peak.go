@@ -34,6 +34,7 @@ package peak
 
 import (
 	"fmt"
+	"io"
 
 	"peak/internal/bench"
 	"peak/internal/core"
@@ -45,6 +46,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/trace"
 	"peak/internal/vcache"
 	"peak/internal/workloads"
 )
@@ -120,6 +122,22 @@ type (
 	Journal = fault.Journal
 	// FaultBar is one (benchmark, method) comparison of the fault report.
 	FaultBar = experiments.FaultBar
+	// TraceBuffer collects structured tuning events deterministically: the
+	// trace of a run is byte-identical at any worker count and with the
+	// compile cache on or off (see OBSERVABILITY.md). Pass one to the
+	// Traced entry points; a nil buffer disables tracing at no cost.
+	TraceBuffer = trace.Buffer
+	// TraceEvent is one structured trace record (schema in OBSERVABILITY.md).
+	TraceEvent = trace.Event
+	// Tracer serializes trace buffers to JSONL, assigning sequence numbers.
+	Tracer = trace.Tracer
+	// Metrics is a registry of named counters and gauges filled by the
+	// Traced entry points and the FillMetrics methods of TuneResult,
+	// scheduler stats, cache stats and journals.
+	Metrics = trace.Metrics
+	// TraceAnalysis digests a trace into per-tune time breakdowns and
+	// elimination timelines (what cmd/peak-trace prints).
+	TraceAnalysis = trace.Analysis
 )
 
 // Rating methods.
@@ -368,6 +386,110 @@ func Figure7Journaled(m *Machine, cfg *Config, pool Pool, cache *VersionCache, j
 		c = *cfg
 	}
 	return experiments.Figure7Journaled(workloads.Figure7Set(), m, &c, pool, cache, j)
+}
+
+// NewTraceBuffer returns an empty trace buffer for the Traced entry
+// points. Serialize it with NewTracer after the run completes.
+func NewTraceBuffer() *TraceBuffer { return trace.NewBuffer() }
+
+// NewTracer returns a tracer writing JSONL trace records to w.
+func NewTracer(w io.Writer) *Tracer { return trace.NewTracer(w) }
+
+// NewMetrics returns an empty metrics registry for the Traced entry
+// points.
+func NewMetrics() *Metrics { return trace.NewMetrics() }
+
+// ReadTrace parses a JSONL trace stream (as written by a Tracer or the
+// cmds' -trace flag) back into events, preserving file order.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return trace.ReadEvents(r) }
+
+// AnalyzeTrace digests trace events into per-tune time breakdowns and
+// elimination timelines — the digest cmd/peak-trace renders.
+func AnalyzeTrace(events []TraceEvent) TraceAnalysis { return trace.Analyze(events) }
+
+// TuneBenchmarkTraced is TuneBenchmarkCached with observability: a
+// non-nil trace buffer records the tuning process's event stream
+// (byte-identical at any worker count, cache on or off) and a non-nil
+// metrics registry accumulates the result's counters.
+func TuneBenchmarkTraced(b *Benchmark, m *Machine, cfg *Config, pool Pool, cache *VersionCache, tb *TraceBuffer, mx *Metrics) (*TuneResult, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	p, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		return nil, err
+	}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: c, Profile: p, Pool: pool, Cache: cache, Trace: tb}
+	res, err := t.Tune()
+	if err == nil {
+		res.FillMetrics(mx)
+	}
+	return res, err
+}
+
+// TuneWithMethodTraced is TuneWithMethodOn with observability (see
+// TuneBenchmarkTraced).
+func TuneWithMethodTraced(b *Benchmark, m *Machine, method Method, ds *Dataset, cfg *Config, pool Pool, tb *TraceBuffer, mx *Metrics) (*TuneResult, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	if ds == nil {
+		ds = b.Train
+	}
+	p, err := profiling.Run(b, ds, m)
+	if err != nil {
+		return nil, err
+	}
+	t := &core.Tuner{Bench: b, Mach: m, Dataset: ds, Cfg: c, Profile: p, Force: &method, Pool: pool, Trace: tb}
+	res, err := t.Tune()
+	if err == nil {
+		res.FillMetrics(mx)
+	}
+	return res, err
+}
+
+// Table1Traced is Table1On with observability: one "cell" trace event
+// per consistency row and the grid totals in the metrics registry.
+func Table1Traced(m *Machine, cfg *Config, pool Pool, tb *TraceBuffer, mx *Metrics) ([]ConsistencyRow, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.Table1Traced(m, experiments.PaperWindows, &c, pool, tb, mx)
+}
+
+// Figure7Traced is Figure7Journaled with observability: the trace
+// carries every tuning process of the protocol (train and ref tunes per
+// bar) and the metrics registry their summed counters.
+func Figure7Traced(m *Machine, cfg *Config, pool Pool, cache *VersionCache, j *Journal, tb *TraceBuffer, mx *Metrics) ([]Fig7Entry, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.Figure7Traced(workloads.Figure7Set(), m, &c, pool, cache, j, tb, mx)
+}
+
+// NoiseReportTraced is NoiseReport with observability: one "cell" event
+// per grid cell and two "trials" events per regime.
+func NoiseReportTraced(m *Machine, cfg *Config, pool Pool, tb *TraceBuffer, mx *Metrics) (string, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.NoiseReportTraced(m, &c, pool, tb, mx)
+}
+
+// FaultReportBarsTraced is FaultReportBars with observability: the trace
+// carries the faulted tunes' event streams (the fault-free twins stay
+// untraced), the metrics registry both tunes' counters.
+func FaultReportBarsTraced(benches []*Benchmark, m *Machine, cfg *Config, plan *FaultPlan, pool Pool, j *Journal, tb *TraceBuffer, mx *Metrics) ([]FaultBar, error) {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return experiments.FaultReportTraced(benches, m, &c, plan, pool, j, tb, mx)
 }
 
 // Validate sanity-checks a benchmark definition (useful when constructing
