@@ -92,6 +92,9 @@ func main() {
 		Bench:   b.Name, Machine: m.Name,
 	}
 	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	// Flush the phases recorded so far on SIGINT/SIGTERM instead of
+	// losing them (the bench sections can run for minutes).
+	obs.FlushOnInterrupt(os.Stderr, "peak-bench", nil)
 	// phase records one timed section as a wall-clock bench_phase event
 	// (Count = elapsed nanoseconds, Invocations = operations) — outside
 	// the determinism contract by design.

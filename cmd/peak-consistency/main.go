@@ -50,6 +50,8 @@ func main() {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
 	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	// Flush the partial trace on SIGINT/SIGTERM instead of losing it.
+	obs.FlushOnInterrupt(os.Stderr, "peak-consistency", nil)
 	rows, err := peak.Table1Traced(m, &cfg, pool, obs.Buf, obs.Mx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peak-consistency: %v\n", err)

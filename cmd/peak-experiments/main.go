@@ -36,7 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"peak"
@@ -96,17 +95,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 			os.Exit(1)
 		}
-		// A SIGINT mid-run is the checkpoint layer's reason to exist:
-		// sync what the journal holds and tell the user how to continue.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		go func() {
-			<-sig
-			journal.Sync()
-			fmt.Fprintf(os.Stderr, "\npeak-experiments: interrupted; checkpoint journal %s synced\n", journalPath)
-			fmt.Fprintf(os.Stderr, "peak-experiments: continue with: peak-experiments -resume %s (plus the same flags)\n", journalPath)
-			os.Exit(130)
-		}()
 	}
 
 	pool := peak.NewPool(*workers)
@@ -115,6 +103,17 @@ func main() {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
 	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	// A SIGINT mid-run flushes the partial trace and — when a journal is
+	// attached, the checkpoint layer's reason to exist — syncs it and
+	// tells the user how to continue.
+	obs.FlushOnInterrupt(os.Stderr, "peak-experiments", func() {
+		if journal == nil {
+			return
+		}
+		journal.Sync()
+		fmt.Fprintf(os.Stderr, "\npeak-experiments: interrupted; checkpoint journal %s synced\n", journalPath)
+		fmt.Fprintf(os.Stderr, "peak-experiments: continue with: peak-experiments -resume %s (plus the same flags)\n", journalPath)
+	})
 	finish := func(code int) {
 		stopProgress()
 		if *progress {

@@ -1,0 +1,185 @@
+// Command peak-serve runs the PEAK tuning service: a long-running
+// HTTP/JSON daemon that accepts tuning jobs, runs them concurrently on a
+// shared scheduler pool with a process-wide compile cache, and serves
+// results, per-job traces and reports, health and statistics.
+//
+// A job's result, report and trace are byte-identical whether it ran
+// alone or with any number of concurrent neighbours, shared cache on or
+// off — and the report is byte-for-byte what cmd/peak prints for the same
+// arguments (the tier-1 smoke check asserts this via -smoke).
+//
+// On SIGINT/SIGTERM the server drains gracefully: running jobs stop at
+// their next tuning-round boundary, queued jobs are set aside, and — with
+// -journal — every completed round is checkpointed, so re-POSTing an
+// interrupted job's request to a restarted server resumes it
+// byte-identically. The drain prints one resume command per interrupted
+// job.
+//
+// Usage:
+//
+//	peak-serve -addr :8080                      # serve
+//	peak-serve -jobs 4 -workers 8 -queue 32     # 4 concurrent jobs
+//	peak-serve -journal serve.jsonl             # checkpoint + resume
+//	peak-serve -smoke MGRID/sparc2              # one job end to end, report on stdout
+//
+//	curl -X POST localhost:8080/tune -d '{"bench":"MGRID","machine":"sparc2"}'
+//	curl localhost:8080/jobs/<id>
+//	curl localhost:8080/jobs/<id>/report
+//	curl localhost:8080/jobs/<id>/trace
+//	curl localhost:8080/stats
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"peak"
+	"peak/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 1, "shared scheduler pool width (0 = GOMAXPROCS); any value gives identical job results")
+		jobs     = flag.Int("jobs", 2, "jobs allowed to run concurrently")
+		queueCap = flag.Int("queue", 16, "job queue capacity (full queue refuses with 429 + Retry-After)")
+		noCache  = flag.Bool("nocache", false, "private per-job compile caches instead of the shared one (results identical either way)")
+		journal  = flag.String("journal", "", "checkpoint journal path: jobs checkpoint every round and resume across restarts")
+		smoke    = flag.String("smoke", "", `run one job end to end and print its report ("BENCH/machine", e.g. "MGRID/sparc2")`)
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		Workers:       *workers,
+		Jobs:          *jobs,
+		Queue:         *queueCap,
+		NoSharedCache: *noCache,
+		JournalPath:   *journal,
+	}
+	if *journal != "" {
+		var j *peak.Journal
+		var err error
+		if _, statErr := os.Stat(*journal); statErr == nil {
+			j, err = peak.OpenJournal(*journal)
+		} else {
+			j, err = peak.NewJournal(*journal)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Journal = j
+		defer j.Close()
+	}
+
+	s := serve.New(opts)
+	s.Start()
+
+	if *smoke != "" {
+		os.Exit(runSmoke(s, *smoke))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "peak-serve: listening on %s (%d job slot(s), pool width %d, queue %d)\n",
+		ln.Addr(), *jobs, *workers, *queueCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "peak-serve: draining (running jobs stop at their next round boundary)...")
+		interrupted := s.Drain()
+		for _, r := range interrupted {
+			fmt.Fprintf(os.Stderr, "peak-serve: job %s interrupted (%s)\n", r.ID, r.Spec)
+			fmt.Fprintf(os.Stderr, "peak-serve:   resume with: curl -X POST <addr>/tune -d '%s'\n", string(r.Request))
+		}
+		if *journal != "" && len(interrupted) > 0 {
+			fmt.Fprintf(os.Stderr, "peak-serve: checkpoint journal %s synced; restart with -journal %s to resume from the last completed round\n",
+				*journal, *journal)
+		}
+		httpSrv.Close()
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("serve: %v", err)
+	}
+}
+
+// runSmoke drives one job through the real HTTP stack on a loopback
+// listener and prints its report to stdout — the tier-1 smoke check diffs
+// that against cmd/peak's output for the same benchmark and machine.
+func runSmoke(s *serve.Server, spec string) int {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "peak-serve: -smoke wants BENCH/machine, got %q\n", spec)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, _ := json.Marshal(serve.Request{Bench: parts[0], Machine: parts[1]})
+	resp, err := http.Post(base+"/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("smoke: submit: %v", err)
+	}
+	var res serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		fatalf("smoke: decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		fatalf("smoke: submit returned %d: %s", resp.StatusCode, res.Error)
+	}
+
+	for {
+		resp, err := http.Get(base + "/jobs/" + res.ID)
+		if err != nil {
+			fatalf("smoke: poll: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			fatalf("smoke: decode: %v", err)
+		}
+		resp.Body.Close()
+		if res.State == serve.StateDone || res.State == serve.StateFailed || res.State == serve.StateInterrupted {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if res.State != serve.StateDone {
+		fmt.Fprintf(os.Stderr, "peak-serve: smoke job ended %s: %s\n", res.State, res.Error)
+		return 1
+	}
+	resp, err = http.Get(base + "/jobs/" + res.ID + "/report")
+	if err != nil {
+		fatalf("smoke: report: %v", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fatalf("smoke: report: %v", err)
+	}
+	return 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peak-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

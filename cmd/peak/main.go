@@ -113,6 +113,10 @@ func main() {
 		stopProgress = sched.StartProgress(os.Stderr, pool, time.Second)
 	}
 	obs := cli.NewObserver(*tracePath, *metrics, os.Stderr)
+	// A SIGINT mid-tune flushes the events recorded so far instead of
+	// losing the whole buffer (Observer.Flush is idempotent, so the normal
+	// exit path below stays a no-op after an interrupt-time flush).
+	obs.FlushOnInterrupt(os.Stderr, "peak", nil)
 
 	var res *peak.TuneResult
 	if *method == "" {
@@ -136,23 +140,6 @@ func main() {
 		fatalf("trace: %v", err)
 	}
 
-	fmt.Printf("benchmark:      %s/%s on %s\n", b.Name, b.TSName, m.Name)
-	fmt.Printf("rating method:  %s (switches: %d)\n", res.MethodUsed, res.MethodSwitches)
-	fmt.Printf("flags removed:  %v\n", res.Removed)
-	fmt.Printf("best flags:     %s\n", res.Best)
-	fmt.Printf("tuning cost:    %d simulated cycles, %d program runs, %d versions rated\n",
-		res.TuningCycles, res.ProgramRuns, res.VersionsRated)
-	// These counters are derived from the tune's own compile requests (not
-	// the shared cache's global state), so they are deterministic at any
-	// worker count and safe to print in the results body.
-	fmt.Printf("compile cache:  %d lookups, %d hits, %d compiles (%d shared code), %d ratings skipped by code dedup\n",
-		res.CacheLookups, res.CacheHits, res.CacheMisses, res.SharedCode, res.DedupSkips)
-	if *faults {
-		fmt.Printf("fault recovery: %d flag(s) quarantined as miscompiled %v\n", len(res.Quarantined), res.Quarantined)
-		fmt.Printf("                retries: %d compile, %d hung measurement, %d panicked job; %d verification invocations\n",
-			res.CompileRetries, res.MeasureRetries, res.JobRetries, res.VerifyInvocations)
-	}
-
 	base, _, err := peak.Measure(b, b.Ref, m, peak.O3())
 	if err != nil {
 		fatalf("measure base: %v", err)
@@ -161,8 +148,10 @@ func main() {
 	if err != nil {
 		fatalf("measure tuned: %v", err)
 	}
-	fmt.Printf("ref performance: -O3 %d cycles, tuned %d cycles, improvement %.1f%%\n",
-		base, tuned, 100*peak.Improvement(base, tuned))
+	// The report block is rendered by the same function peak-serve uses
+	// for its job reports, keeping the two byte-identical for the same
+	// arguments (the serve smoke check relies on this).
+	fmt.Print(cli.FormatTuneReport(b, m, res, *faults, base, tuned))
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"peak/internal/trace"
+)
+
+// TestFlushIdempotent is the regression test for the double-flush data
+// loss: Tracer.Flush drains the buffer, so a second Flush used to
+// re-Create the trace file and rewrite it from the by-then-empty buffer —
+// an interrupt handler racing the normal exit path could truncate a
+// just-written trace to zero events. Now the second call is a no-op.
+func TestFlushIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var metricsOut bytes.Buffer
+	o := NewObserver(path, true, &metricsOut)
+	o.Buf.Emit(trace.Event{Kind: trace.KindRate, Tune: "t", JobCycles: 7})
+	o.Buf.Emit(trace.Event{Kind: trace.KindTuneEnd, Tune: "t", Cycles: 7})
+	o.Mx.Add("test.counter", 1)
+
+	readEvents := func() []trace.Event {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		evs, err := trace.ReadEvents(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readEvents(); len(got) != 2 {
+		t.Fatalf("first flush wrote %d events, want 2", len(got))
+	}
+	// The second flush (signal handler, stray defer) must leave the file
+	// untouched and not re-print the metrics table.
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readEvents(); len(got) != 2 {
+		t.Fatalf("second flush left %d events, want 2 (file was rewritten)", len(got))
+	}
+	if n := strings.Count(metricsOut.String(), "test.counter"); n != 1 {
+		t.Fatalf("metrics table printed %d times, want 1", n)
+	}
+}
+
+// TestFlushIdempotentError: a failing first flush must report the same
+// error from later calls, not silently succeed by skipping the work.
+func TestFlushIdempotentError(t *testing.T) {
+	o := NewObserver(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl"), false, nil)
+	o.Buf.Emit(trace.Event{Kind: trace.KindRate})
+	err1 := o.Flush()
+	if err1 == nil {
+		t.Fatal("flush to an unwritable path succeeded")
+	}
+	if err2 := o.Flush(); err2 != err1 {
+		t.Fatalf("second flush returned %v, want the first call's error %v", err2, err1)
+	}
+}
+
+// TestFlushDisabledOutputs: with both -trace and -metrics off, Flush is a
+// safe no-op any number of times.
+func TestFlushDisabledOutputs(t *testing.T) {
+	o := NewObserver("", false, nil)
+	for i := 0; i < 3; i++ {
+		if err := o.Flush(); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+	}
+}

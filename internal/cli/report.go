@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"peak/internal/bench"
+	"peak/internal/core"
+	"peak/internal/machine"
+)
+
+// FormatTuneReport renders the canonical result block of one finished
+// tuning process — the exact text cmd/peak prints for the same arguments.
+// It is shared between cmd/peak and the peak-serve daemon so that a
+// service job's report is byte-for-byte the CLI's output (the serve smoke
+// check in the tier-1 recipe asserts exactly that). faults adds the
+// fault-recovery block; baseCycles/tunedCycles are the ref-dataset
+// measurements of -O3 and the winning flag set.
+//
+// Every figure in the block is scheduling-independent (the cache counters
+// are the tune's own ledger, not the shared cache's global state), so the
+// report honours the repository-wide bit-identity contract.
+func FormatTuneReport(b *bench.Benchmark, m *machine.Machine, res *core.TuneResult, faults bool, baseCycles, tunedCycles int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchmark:      %s/%s on %s\n", b.Name, b.TSName, m.Name)
+	fmt.Fprintf(&sb, "rating method:  %s (switches: %d)\n", res.MethodUsed, res.MethodSwitches)
+	fmt.Fprintf(&sb, "flags removed:  %v\n", res.Removed)
+	fmt.Fprintf(&sb, "best flags:     %s\n", res.Best)
+	fmt.Fprintf(&sb, "tuning cost:    %d simulated cycles, %d program runs, %d versions rated\n",
+		res.TuningCycles, res.ProgramRuns, res.VersionsRated)
+	fmt.Fprintf(&sb, "compile cache:  %d lookups, %d hits, %d compiles (%d shared code), %d ratings skipped by code dedup\n",
+		res.CacheLookups, res.CacheHits, res.CacheMisses, res.SharedCode, res.DedupSkips)
+	if faults {
+		fmt.Fprintf(&sb, "fault recovery: %d flag(s) quarantined as miscompiled %v\n", len(res.Quarantined), res.Quarantined)
+		fmt.Fprintf(&sb, "                retries: %d compile, %d hung measurement, %d panicked job; %d verification invocations\n",
+			res.CompileRetries, res.MeasureRetries, res.JobRetries, res.VerifyInvocations)
+	}
+	fmt.Fprintf(&sb, "ref performance: -O3 %d cycles, tuned %d cycles, improvement %.1f%%\n",
+		baseCycles, tunedCycles, 100*core.Improvement(baseCycles, tunedCycles))
+	return sb.String()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +37,23 @@ type Tuner struct {
 	// experiments); leave nil for the consultant's automatic choice with
 	// runtime switching.
 	Force *Method
+
+	// Candidates restricts the Iterative Elimination search to a subset of
+	// the tunable flags (nil searches all 38). The serve layer maps a
+	// request's flag subset here. Callers should canonicalize the order
+	// (ascending flag value): candidate order is part of the tune's
+	// identity — it fixes reduction order and tie-breaks — so two requests
+	// naming the same set in different orders would otherwise be distinct
+	// tunes.
+	Candidates []opt.Flag
+
+	// Interrupt, when non-nil, is polled on the reduction goroutine before
+	// every Iterative Elimination round; once it returns true the tune
+	// stops with ErrInterrupted instead of starting the round. The last
+	// completed round was already checkpointed (when a Journal is
+	// attached), so an interrupted tune resumes byte-identically. The
+	// serve layer wires its drain signal here.
+	Interrupt func() bool
 
 	// Pool shards Iterative Elimination's independent candidate ratings
 	// across workers. Nil (or a sched.Serial pool) rates them one after
@@ -592,6 +610,12 @@ type jobResult struct {
 // errMethodExhausted reports that no applicable rating method converged.
 var errMethodExhausted = fmt.Errorf("core: all rating methods failed to converge")
 
+// ErrInterrupted reports that Tuner.Interrupt stopped the tune between
+// Iterative Elimination rounds. With a Journal attached the completed
+// rounds are checkpointed, so re-running the same tune against the same
+// journal resumes it and finishes byte-identical to an uninterrupted run.
+var ErrInterrupted = errors.New("core: tuning interrupted between rounds")
+
 // rateJob rates the experimental flag set against the base flag set with
 // method m in a fresh per-job context named by jobKey. It performs no
 // round-level method switching — non-convergence is reported to the round
@@ -958,6 +982,9 @@ func (e *engine) iterativeElimination() error {
 	const maxRounds = 8
 	current := opt.O3()
 	candidates := opt.AllFlags()
+	if e.t.Candidates != nil {
+		candidates = append([]opt.Flag(nil), e.t.Candidates...)
+	}
 	startRound := 0
 	stopped := false
 
@@ -975,6 +1002,9 @@ func (e *engine) iterativeElimination() error {
 	}
 
 	for round := startRound; round < maxRounds && !stopped; round++ {
+		if e.t.Interrupt != nil && e.t.Interrupt() {
+			return ErrInterrupted
+		}
 		e.res.Rounds = round + 1
 		if e.tb != nil {
 			e.emit(trace.Event{Kind: trace.KindRoundStart, Round: round + 1,

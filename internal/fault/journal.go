@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"peak/internal/trace"
@@ -128,6 +129,20 @@ func (j *Journal) Latest(id string) (Record, bool) {
 	defer j.mu.Unlock()
 	rec, ok := j.latest[id]
 	return rec, ok
+}
+
+// IDs returns every checkpoint ID with at least one record, sorted. The
+// serve daemon prints them on drain so an operator can see which tunes
+// hold resumable state.
+func (j *Journal) IDs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ids := make([]string, 0, len(j.latest))
+	for id := range j.latest {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Len returns the number of checkpoint IDs with at least one record.

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -99,13 +100,19 @@ func (s *Stats) Wall() time.Duration {
 }
 
 // Utilization returns busy-time ÷ (wall-time × workers): 1.0 means every
-// worker was saturated from first to last job.
+// worker was saturated from first to last job. The result is clamped to
+// [0, 1] and degenerate inputs — workers <= 0, or a pool that never ran a
+// job so Wall() is zero — report 0 rather than NaN or ±Inf, so callers
+// (Summary, the serve /stats endpoint) can format it unconditionally.
 func (s *Stats) Utilization(workers int) float64 {
 	wall := s.Wall().Nanoseconds()
 	if wall <= 0 || workers <= 0 {
 		return 0
 	}
-	return float64(s.busyNanos.Load()) / float64(wall*int64(workers))
+	// busyNanos sums completed-job time while endNanos latches at the last
+	// completion instant, so rounding can push the ratio a hair past 1.
+	u := float64(s.busyNanos.Load()) / float64(wall*int64(workers))
+	return math.Min(math.Max(u, 0), 1)
 }
 
 // Line formats the live counters as a single status line.
@@ -115,8 +122,14 @@ func (s *Stats) Line() string {
 		float64(s.Cycles.Load()), s.Wall().Round(time.Millisecond))
 }
 
-// Summary formats the final utilization report for a finished pool.
+// Summary formats the final utilization report for a finished pool. A
+// nonsensical worker count (<= 0, possible when a caller forwards an
+// unvalidated flag) is reported as 0 workers with zero utilization
+// instead of a negative count.
 func (s *Stats) Summary(workers int) string {
+	if workers < 0 {
+		workers = 0
+	}
 	line := fmt.Sprintf(
 		"sched: %d jobs on %d worker(s) in %s · busy %s · utilization %.0f%% · %.3e simulated cycles",
 		s.JobsDone.Load(), workers, s.Wall().Round(time.Millisecond),

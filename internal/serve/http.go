@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Stats is the GET /stats payload. Every figure is finite by
+// construction: the pool utilization is clamped to [0, 1]
+// (sched.Stats.Utilization) and the cache hit rate is 0 when no lookup
+// has happened yet (vcache.Stats.HitRate) — json.Marshal rejects NaN, so
+// a fresh server's /stats depends on those clamps.
+type Stats struct {
+	Draining bool `json:"draining"`
+	// Jobs counts jobs by state.
+	Jobs map[string]int `json:"jobs"`
+	// QueueDepth/QueueCapacity describe the admission queue; JobSlots the
+	// concurrent-job limit.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	JobSlots      int `json:"job_slots"`
+	// Pool is the shared scheduler pool's instrumentation.
+	Pool PoolStats `json:"pool"`
+	// Cache is the process-wide shared compile cache (absent when the
+	// server runs with private per-job caches).
+	Cache *CacheStats `json:"cache,omitempty"`
+	// JournalIDs is the number of checkpoint IDs holding resumable state
+	// (absent without a journal).
+	JournalIDs *int `json:"journal_ids,omitempty"`
+}
+
+// PoolStats mirrors sched.Stats for the shared pool.
+type PoolStats struct {
+	Workers     int     `json:"workers"`
+	JobsQueued  int64   `json:"jobs_queued"`
+	JobsRunning int64   `json:"jobs_running"`
+	JobsDone    int64   `json:"jobs_done"`
+	Cycles      int64   `json:"cycles"`
+	Utilization float64 `json:"utilization"`
+}
+
+// CacheStats mirrors vcache.Stats for the shared compile cache.
+type CacheStats struct {
+	Lookups  int64   `json:"lookups"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Shared   int64   `json:"shared"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int64   `json:"entries"`
+	Versions int64   `json:"versions"`
+	Bytes    int64   `json:"bytes"`
+}
+
+// Stats assembles the current server statistics.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Draining:      s.draining.Load(),
+		Jobs:          map[string]int{},
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		JobSlots:      s.opts.Jobs,
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		st.Jobs[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	ps := s.pool.Stats()
+	st.Pool = PoolStats{
+		Workers:     s.pool.Workers(),
+		JobsQueued:  ps.JobsQueued.Load(),
+		JobsRunning: ps.JobsRunning.Load(),
+		JobsDone:    ps.JobsDone.Load(),
+		Cycles:      ps.Cycles.Load(),
+		Utilization: ps.Utilization(s.pool.Workers()),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &CacheStats{
+			Lookups: cs.Lookups, Hits: cs.Hits, Misses: cs.Misses,
+			Shared: cs.Shared, HitRate: cs.HitRate(),
+			Entries: cs.Entries, Versions: cs.Versions, Bytes: cs.Bytes,
+		}
+	}
+	if s.journal != nil {
+		n := s.journal.Len()
+		st.JournalIDs = &n
+	}
+	return st
+}
+
+// Handler returns the service's HTTP routes (Go 1.22 method+pattern mux):
+//
+//	POST /tune              submit a job (idempotent per canonical spec)
+//	GET  /jobs              list all jobs, sorted by spec
+//	GET  /jobs/{id}         one job's snapshot
+//	GET  /jobs/{id}/trace   the job's JSONL event trace (once terminal)
+//	GET  /jobs/{id}/report  the job's text report (byte-for-byte cmd/peak)
+//	GET  /healthz           liveness + draining flag
+//	GET  /stats             pool, cache, queue and job statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tune", s.handleTune)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleJobReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	res, code, err := s.Submit(req)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			// The queue is full of multi-second tuning jobs; "a little
+			// later" is seconds, not milliseconds.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, res)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	data, done, ok := s.JobTrace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if !done {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q has not finished; its trace is flushed at completion", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(data)
+}
+
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if res.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q is %s; the report exists once it is done", res.ID, res.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, res.Report)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.draining.Load()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

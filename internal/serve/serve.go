@@ -1,0 +1,376 @@
+// Package serve implements the peak-serve tuning daemon: a long-running
+// HTTP/JSON service that accepts tuning jobs (POST /tune), runs them
+// concurrently on a shared scheduler pool through core.Tuner, and exposes
+// results, per-job traces and reports, health, and server statistics.
+//
+// The service extends the repository's determinism contract across
+// concurrency: a job's terminal Result, report and trace are byte-identical
+// whether it ran alone or interleaved with any number of other jobs, with
+// the shared compile cache on or off. Three mechanisms carry that:
+//
+//   - Jobs are content-addressed. A job's ID is a hash of its canonical
+//     spec, so identical requests share one job (idempotent POST) and a
+//     job's identity — which seeds every random stream in the tune via
+//     sched.DeriveSeed — never depends on arrival order.
+//   - Observability is per-job. Each job gets its own trace.Buffer,
+//     trace.Tracer (seq restarts at 1) and trace.Metrics registry; the
+//     shared cache's global counters never leak into a job's ledger
+//     (TuneResult's cache counters are the tune's own memo table).
+//   - Sharing is semantics-free. The compile cache stores frozen,
+//     deterministically compiled versions, so sharing it across jobs
+//     changes wall time, never results.
+//
+// Draining (SIGINT/SIGTERM in cmd/peak-serve, or Server.Drain) is
+// graceful: running jobs stop at the next Iterative Elimination round
+// boundary via Tuner.Interrupt, their completed rounds already checkpointed
+// in the shared journal; queued jobs are marked interrupted untouched.
+// Re-POSTing an interrupted job's request to a server holding the same
+// journal resumes it byte-identically.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"peak/internal/cli"
+	"peak/internal/core"
+	"peak/internal/fault"
+	"peak/internal/opt"
+	"peak/internal/profiling"
+	"peak/internal/sched"
+	"peak/internal/trace"
+	"peak/internal/vcache"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the shared scheduler pool's width (0 = GOMAXPROCS); all
+	// jobs' candidate ratings shard across this one pool.
+	Workers int
+	// Jobs is the number of jobs allowed to run concurrently (job slots);
+	// <= 0 means 1.
+	Jobs int
+	// Queue is the bounded job queue's capacity; a POST arriving with the
+	// queue full is refused with 429 + Retry-After. <= 0 means 8.
+	Queue int
+	// NoSharedCache gives every job a private compile cache instead of
+	// the process-wide shared one. Results are byte-identical either way;
+	// only wall time and the /stats cache totals change.
+	NoSharedCache bool
+	// Journal, when non-nil, checkpoints every job after each completed
+	// tuning round, keyed by "serve/" + canonical spec, and resumes jobs
+	// whose spec already has journaled state. JournalPath is echoed in
+	// drain messages ("" for an in-memory journal).
+	Journal     *fault.Journal
+	JournalPath string
+}
+
+// Server is the tuning service. Create with New, attach Handler to an
+// http.Server, and call Start; stop with Drain.
+type Server struct {
+	opts    Options
+	pool    sched.Pool
+	cache   *vcache.Cache // nil when NoSharedCache
+	journal *fault.Journal
+
+	queue    chan *job
+	draining atomic.Bool
+	drainCh  chan struct{}
+	wg       sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*job // job ID -> job
+
+	// gate, when non-nil, is received from before each job runs — test
+	// instrumentation for pinning admission-control and drain timing.
+	gate chan struct{}
+}
+
+// New builds a Server from opts. Call Start before serving requests.
+func New(opts Options) *Server {
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 8
+	}
+	s := &Server{
+		opts:    opts,
+		pool:    sched.New(opts.Workers),
+		journal: opts.Journal,
+		queue:   make(chan *job, opts.Queue),
+		drainCh: make(chan struct{}),
+		jobs:    make(map[string]*job),
+	}
+	if !opts.NoSharedCache {
+		s.cache = vcache.New()
+	}
+	return s
+}
+
+// Start launches the job slots. It returns immediately.
+func (s *Server) Start() {
+	for i := 0; i < s.opts.Jobs; i++ {
+		s.wg.Add(1)
+		go s.slot()
+	}
+}
+
+// slot is one job-runner goroutine: it drains the queue until Drain is
+// signalled and the queue is empty. Jobs dequeued after the drain signal
+// are marked interrupted without running (nothing is checkpointed for
+// them, so resubmission simply starts them fresh).
+func (s *Server) slot() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.dispatch(j)
+		case <-s.drainCh:
+			// Drain signalled: flush what is still queued, then exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.dispatch(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(j *job) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.draining.Load() {
+		j.mu.Lock()
+		j.state = StateInterrupted
+		j.errMsg = "server draining before the job started; resubmit to resume"
+		j.mu.Unlock()
+		return
+	}
+	s.runJob(j)
+}
+
+// Submit validates, canonicalizes and enqueues a request. The returned
+// code is the HTTP status the job's admission maps to: 202 accepted, 200
+// already known (idempotent resubmission — also how an interrupted job is
+// resumed after a restart), 400 invalid, 429 queue full, 503 draining.
+func (s *Server) Submit(req Request) (Result, int, error) {
+	sp, err := parseSpec(req)
+	if err != nil {
+		return Result{}, 400, err
+	}
+	if s.draining.Load() {
+		return Result{}, 503, errors.New("server is draining")
+	}
+	j := newJob(sp)
+	s.mu.Lock()
+	if existing, ok := s.jobs[j.id]; ok {
+		// Same canonical spec: the job already exists (possibly finished).
+		// An interrupted job is re-queued so a restarted server resumes it
+		// from the journal; any other state is simply reported.
+		requeue := false
+		existing.mu.Lock()
+		if existing.state == StateInterrupted {
+			existing.state = StateQueued
+			existing.errMsg = ""
+			requeue = true
+		}
+		existing.mu.Unlock()
+		s.mu.Unlock()
+		if requeue {
+			select {
+			case s.queue <- existing:
+			default:
+				existing.mu.Lock()
+				existing.state = StateInterrupted
+				existing.errMsg = "job queue full before resume could start; resubmit to resume"
+				existing.mu.Unlock()
+				return existing.snapshot(), 429, errors.New("job queue is full")
+			}
+		}
+		return existing.snapshot(), 200, nil
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		return j.snapshot(), 202, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return Result{}, 429, errors.New("job queue is full")
+	}
+}
+
+// Job returns the snapshot of a job by ID.
+func (s *Server) Job(id string) (Result, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Result{}, false
+	}
+	return j.snapshot(), true
+}
+
+// JobTrace returns a job's flushed JSONL trace and whether the job has
+// reached a terminal state (the trace is only written then).
+func (s *Server) JobTrace(id string) (data []byte, done, ok bool) {
+	s.mu.Lock()
+	j, found := s.jobs[id]
+	s.mu.Unlock()
+	if !found {
+		return nil, false, false
+	}
+	data, done = j.trace()
+	return data, done, true
+}
+
+// Jobs lists every job's snapshot, sorted by canonical spec (stable
+// regardless of submission order).
+func (s *Server) Jobs() []Result {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	out := make([]Result, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	// Sort after snapshotting so we hold no job locks while comparing.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Spec < out[k-1].Spec; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the server's job slots: no new submissions are
+// admitted, running jobs stop at their next round boundary (state
+// "interrupted", completed rounds checkpointed when a journal is
+// attached), queued jobs are marked interrupted unrun. It blocks until
+// every slot has exited, syncs the journal, and returns the interrupted
+// jobs' snapshots — cmd/peak-serve prints a resume command for each.
+func (s *Server) Drain() []Result {
+	if !s.draining.CompareAndSwap(false, true) {
+		s.wg.Wait()
+	} else {
+		close(s.drainCh)
+		s.wg.Wait()
+	}
+	if s.journal != nil {
+		s.journal.Sync()
+	}
+	var interrupted []Result
+	for _, r := range s.Jobs() {
+		if r.State == StateInterrupted || r.State == StateQueued {
+			interrupted = append(interrupted, r)
+		}
+	}
+	return interrupted
+}
+
+// runJob executes one job, mirroring cmd/peak exactly so the report is
+// byte-for-byte the CLI's output for the same arguments: profile, tune
+// (consultant path on train; forced method on the requested dataset),
+// then measure -O3 and the winner on the ref dataset.
+func (s *Server) runJob(j *job) {
+	j.setState(StateRunning)
+	sp := j.spec
+
+	// Per-job observability: a private buffer, metrics registry and — at
+	// the end — tracer, so the job's trace is byte-identical however many
+	// neighbours it ran with.
+	buf := trace.NewBuffer()
+	mx := trace.NewMetrics()
+
+	fail := func(err error) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if errors.Is(err, core.ErrInterrupted) {
+			j.state = StateInterrupted
+			j.errMsg = "interrupted by drain; completed rounds are checkpointed — resubmit to resume"
+		} else {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	if sp.noise != nil {
+		cfg.Noise = sp.noise
+	}
+	// The consultant path profiles and tunes on train (cmd/peak without
+	// -method); a forced method profiles and tunes on the requested
+	// dataset (cmd/peak -method).
+	ds := sp.dataset
+	if sp.force == nil {
+		ds = sp.bench.Train
+	}
+	prof, err := profiling.Run(sp.bench, ds, sp.mach)
+	if err != nil {
+		fail(err)
+		return
+	}
+	t := &core.Tuner{
+		Bench:        sp.bench,
+		Mach:         sp.mach,
+		Dataset:      ds,
+		Cfg:          cfg,
+		Profile:      prof,
+		Force:        sp.force,
+		Candidates:   sp.candidates,
+		Interrupt:    s.draining.Load,
+		Pool:         s.pool,
+		Cache:        s.cache,
+		Journal:      s.journal,
+		CheckpointID: sp.checkpointID(),
+		Trace:        buf,
+	}
+	res, err := t.Tune()
+	if err != nil {
+		fail(err)
+		return
+	}
+	base, _, err := core.MeasurePerformance(sp.bench, sp.bench.Ref, sp.mach, opt.O3())
+	if err != nil {
+		fail(err)
+		return
+	}
+	tuned, _, err := core.MeasurePerformance(sp.bench, sp.bench.Ref, sp.mach, res.Best)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res.FillMetrics(mx)
+
+	var tb bytes.Buffer
+	tr := trace.NewTracer(&tb)
+	tr.Flush(buf)
+	if err := tr.Close(); err != nil {
+		fail(err)
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateDone
+	j.res = res
+	j.report = cli.FormatTuneReport(sp.bench, sp.mach, res, false, base, tuned)
+	j.metrics = mx.Format()
+	j.traceData = tb.Bytes()
+	j.mu.Unlock()
+}

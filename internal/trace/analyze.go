@@ -9,22 +9,31 @@ import (
 )
 
 // ReadEvents parses a JSONL trace stream back into events, preserving
-// file order. Blank lines are skipped; a malformed line aborts with an
+// file order. Blank lines are skipped. A malformed *final* non-blank line
+// is tolerated and dropped — a crashed or interrupted writer tears the
+// tail of the file, and the events before it are still a valid partial
+// trace (the fault.Journal reader makes the same call). A malformed line
+// with well-formed lines after it is real corruption and aborts with an
 // error naming its line number.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
+	var pendingErr error // parse error that is forgiven only if it stays last
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var ev Event
 		if err := json.Unmarshal([]byte(text), &ev); err != nil {
-			return nil, fmt.Errorf("trace line %d: %w", line, err)
+			pendingErr = fmt.Errorf("trace line %d: %w", line, err)
+			continue
 		}
 		out = append(out, ev)
 	}

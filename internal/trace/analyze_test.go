@@ -114,10 +114,67 @@ func TestReadEventsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadEventsRejectsGarbage(t *testing.T) {
-	_, err := ReadEvents(strings.NewReader("{\"kind\":\"rate\"}\nnot json\n"))
+// TestReadEventsRejectsMidFileGarbage: a malformed line with well-formed
+// lines after it is corruption, not a torn tail, and must still error.
+func TestReadEventsRejectsMidFileGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"kind\":\"rate\"}\nnot json\n{\"kind\":\"rate\"}\n"))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("expected line-2 error, got %v", err)
+	}
+}
+
+// TestReadEventsTornTail covers the crash/interrupt fixtures: an empty
+// file, a file that is nothing but a partial line, and a valid trace whose
+// final line was torn mid-write all parse cleanly, keeping every complete
+// event, and Analyze on the result returns an empty (or partial) analysis
+// rather than an error or panic. Trailing blank lines after the torn line
+// must not promote it to a mid-file error.
+func TestReadEventsTornTail(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  int // complete events expected
+	}{
+		{"empty file", "", 0},
+		{"blank lines only", "\n\n  \n", 0},
+		{"only a partial line", `{"kind":"ra`, 0},
+		{"torn final line", "{\"kind\":\"rate\",\"tune\":\"t\"}\n{\"kind\":\"rate\",\"tu", 1},
+		{"torn line then blanks", "{\"kind\":\"rate\",\"tune\":\"t\"}\n{\"kind\":\"ro\n\n", 1},
+	}
+	for _, tc := range cases {
+		evs, err := ReadEvents(strings.NewReader(tc.input))
+		if err != nil {
+			t.Errorf("%s: ReadEvents error: %v", tc.name, err)
+			continue
+		}
+		if len(evs) != tc.want {
+			t.Errorf("%s: got %d events, want %d", tc.name, len(evs), tc.want)
+			continue
+		}
+		a := Analyze(evs)
+		if tc.want == 0 && (len(a.Breakdowns) != 0 || len(a.Timelines) != 0) {
+			t.Errorf("%s: Analyze of empty trace not empty: %+v", tc.name, a)
+		}
+	}
+}
+
+// TestAnalyzeUnknownKind: events of a kind this version doesn't know
+// (traces from a newer writer) are skipped, not a panic — known events
+// around them still fold normally.
+func TestAnalyzeUnknownKind(t *testing.T) {
+	input := "{\"kind\":\"tune_start\",\"tune\":\"t\"}\n" +
+		"{\"kind\":\"wormhole\",\"tune\":\"t\",\"cycles\":12}\n" +
+		"{\"kind\":\"tune_end\",\"tune\":\"t\",\"cycles\":99,\"invocations\":3}\n"
+	evs, err := ReadEvents(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	a := Analyze(evs)
+	if len(a.Breakdowns) != 1 || a.Breakdowns[0].Total != 99 || a.Breakdowns[0].Invocations != 3 {
+		t.Fatalf("unknown kind disturbed the analysis: %+v", a.Breakdowns)
 	}
 }
 

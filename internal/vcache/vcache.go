@@ -86,10 +86,21 @@ type Stats struct {
 	Quarantined int64
 }
 
+// HitRate returns Hits ÷ Lookups as a fraction in [0, 1]. The zero-lookup
+// path — a fresh cache queried for stats, exactly what the serve /stats
+// endpoint does before the first job lands — reports 0 rather than NaN
+// (which json.Marshal would reject and "%.1f" would render as "NaN").
+func (s Stats) HitRate() float64 {
+	if s.Lookups <= 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
 // Summary formats the stats in the style of sched.Stats.Summary.
 func (s Stats) Summary() string {
-	return fmt.Sprintf("vcache: %d lookups, %d hits, %d compiles (%d shared code), %d entries / %d versions, ~%d KiB",
-		s.Lookups, s.Hits, s.Misses, s.Shared, s.Entries, s.Versions, s.Bytes/1024)
+	return fmt.Sprintf("vcache: %d lookups, %d hits (%.1f%% hit rate), %d compiles (%d shared code), %d entries / %d versions, ~%d KiB",
+		s.Lookups, s.Hits, 100*s.HitRate(), s.Misses, s.Shared, s.Entries, s.Versions, s.Bytes/1024)
 }
 
 // FillMetrics folds the snapshot into a metrics registry under the

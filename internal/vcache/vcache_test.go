@@ -1,6 +1,7 @@
 package vcache
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -191,5 +192,35 @@ func TestMarkQuarantined(t *testing.T) {
 	// The entry is still served: tunes re-verify their own resolutions.
 	if v, _, _, err := c.GetOrCompile(k, compile(opt.O3())); err != nil || v == nil {
 		t.Errorf("quarantined entry not served: %v, %v", v, err)
+	}
+}
+
+// TestHitRateZeroLookups pins the fresh-cache stats path the serve /stats
+// endpoint exercises before any job has run: HitRate must be exactly 0
+// (never NaN, which json.Marshal rejects), Summary must render finite
+// numbers, and the rate must track Hits/Lookups once traffic arrives.
+func TestHitRateZeroLookups(t *testing.T) {
+	var zero Stats
+	if got := zero.HitRate(); got != 0 {
+		t.Fatalf("zero-lookup HitRate = %v, want 0", got)
+	}
+	if line := zero.Summary(); strings.Contains(line, "NaN") {
+		t.Fatalf("zero-lookup Summary renders NaN: %s", line)
+	}
+
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	k := key(opt.O3())
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := c.GetOrCompile(k, compile(opt.O3())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if got, want := st.HitRate(), 0.75; got != want {
+		t.Fatalf("HitRate after 4 lookups / 3 hits = %v, want %v", got, want)
+	}
+	if !strings.Contains(st.Summary(), "75.0% hit rate") {
+		t.Fatalf("Summary missing hit rate: %s", st.Summary())
 	}
 }
