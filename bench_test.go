@@ -12,8 +12,12 @@ package peak
 // iteration for the heavy ones.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -217,5 +221,49 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				b.ReportMetric(float64(res.Invocations), "invocations")
 			}
 		})
+	}
+}
+
+// --- Bench smoke ------------------------------------------------------------
+
+// TestBenchSmokeReportsInvocationsPerSec runs the peak-bench CLI for a very
+// short window and checks that the report carries the interpreter-throughput
+// fields the BENCH_pr*.json history is built from. A bench report without
+// invocations_per_sec cannot be compared across PRs, so its absence is a
+// regression in its own right.
+func TestBenchSmokeReportsInvocationsPerSec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command(goBin, "run", "./cmd/peak-bench", "-mintime", "0.05", "-o", out)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("peak-bench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		InvocationsPerSec    float64 `json:"invocations_per_sec"`
+		InvocationsPerSecRef float64 `json:"invocations_per_sec_ref"`
+		CompileSpeedup       float64 `json:"compile_speedup"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parse %s: %v", out, err)
+	}
+	if rep.InvocationsPerSec <= 0 {
+		t.Errorf("invocations_per_sec = %v, want > 0", rep.InvocationsPerSec)
+	}
+	if rep.InvocationsPerSecRef <= 0 {
+		t.Errorf("invocations_per_sec_ref = %v, want > 0", rep.InvocationsPerSecRef)
+	}
+	if rep.CompileSpeedup < 2 {
+		t.Errorf("compile_speedup = %v, want >= 2", rep.CompileSpeedup)
 	}
 }

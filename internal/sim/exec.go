@@ -1,0 +1,878 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"peak/internal/cache"
+	"peak/internal/ir"
+)
+
+// This file is the fused superblock execution engine, the Runner's default.
+// It executes the compact pre-decoded micro-op tables built by plan.go:
+//
+//   - Every LIR instruction is decoded to one fixed-shape micro-op (uop):
+//     operand-shape branching (use lists, def presence, immediate kinds,
+//     int/FP cost classes) is folded away at decode time, so the inner loop
+//     dispatches on one dense kind byte and each case gates issue on exactly
+//     the operand slots its shape uses. Absent operands point at a
+//     read-dummy register whose ready time is always zero; absent
+//     destinations point at a write-dummy register nothing reads.
+//
+//   - Straight-line runs of statically-scheduled micro-ops (ALU ops,
+//     stores, integer div/mod, counter bumps — everything but loads and
+//     calls, whose latency is dynamic) are fused into superblock traces.
+//     Their issue/ready dataflow is resolved once, at decode time: the
+//     schedule is built from max and + alone, so it is (max,+)-linear in
+//     the entry cycle and the live-in ready times, and its only observable
+//     outputs — the final cycle and the live-out ready times — are each a
+//     max of "input + precomputed longest-path weight" terms evaluated at
+//     trace entry. The replay loop then computes values only. Faults inside
+//     a trace (store bounds, div by zero) re-derive the exact reference
+//     step and cycle on a cold path, preserving bit-identical behaviour.
+//
+//   - Step/instruction accounting is hoisted out of the inner loop: blocks
+//     pre-check the step limit and count steps in bulk, switching to a
+//     per-op checked mode only within striking distance of Runner.MaxSteps
+//     so ErrStepLimit still fires at the exact same step as the reference.
+//
+// The reference interpreter (ref.go) defines the semantics; this engine is
+// bit-identical to it in every observable output, enforced by the
+// differential tests in diff_test.go.
+
+// ukind is a dense micro-op kind: the LIR opcode space folded down by
+// operand shape. Integer and FP arithmetic compute identically on float64
+// and differ only in pre-folded costs, so they share a micro-op kind.
+type ukind uint8
+
+const (
+	// Pure-ALU kinds (traceable: no faults, fully static latency). Keep
+	// uConst..uSelect contiguous — traceable() tests the range.
+	uConst ukind = iota // dst = consts[aux] (LMovI pre-converted to float64, LMovF)
+	uMov                // dst = a
+	uAdd                // LAdd, LFAdd
+	uSub                // LSub, LFSub
+	uMul                // LMul, LFMul
+	uFDiv               // LFDiv (IEEE: cannot fault)
+	uAnd
+	uOr
+	uXor
+	uShl
+	uShr
+	uNeg // LNeg, LFNeg
+	uNot
+	uCmpEq // LCmpEq, LFCmpEq
+	uCmpNe
+	uCmpLt
+	uCmpLe
+	uCmpGt
+	uCmpGe
+	uSelect // dst = a != 0 ? b : c
+
+	// Faulting / dynamic-latency kinds.
+	uDiv  // LDiv (divide-by-zero fault splits traces)
+	uMod  // LMod
+	uLoad // aux indexes vplan.mems
+	uStore
+	uCallIntr // aux indexes vplan.calls
+	uCallUser
+	uCallBad // unresolved callee: runtime error on execution
+
+	// Pseudo-ops: no step accounting, no issue machinery.
+	uCount // counter bump
+	uTrace // fused-trace head
+)
+
+// traceable reports whether k may be fused into a superblock trace.
+func traceable(k ukind) bool { return k <= uSelect }
+
+// uop is one decoded micro-op. Fixed 3-slot operand shape: unused operand
+// slots alias the plan's read-dummy register (ready pinned at 0), absent
+// destinations alias the write-dummy register (never read).
+type uop struct {
+	dst int32
+	a   int32
+	b   int32
+	c   int32
+
+	// aux indexes the plan's side tables by kind: consts for uConst,
+	// mems for uLoad/uStore, calls for the call kinds, traces for uTrace,
+	// and the counter index for uCount (-1: out of range, drop).
+	aux int32
+
+	// readyCost = static issue cost + result latency; cycleCost = static
+	// issue cost + spill-store cost. Dynamic parts (cache latency, callee
+	// cycles) are added at run time exactly as the reference engine does.
+	readyCost int32
+	cycleCost int32
+
+	kind ukind
+}
+
+// memInfo is the memory fast path of one load/store site: the array pointer
+// is pre-resolved at decode (re-resolved by vplan.sync when Memory moves),
+// so the hot loop performs no name lookups, and hint caches the L1 line the
+// site touched last (self-validating; see cache.AccessLine).
+type memInfo struct {
+	arr  *Array // nil if the name is unknown (reported at execution time)
+	hint *cache.Line
+	name string
+}
+
+// callInfo is the pre-decoded callee binding of one call micro-op.
+type callInfo struct {
+	args   []int32
+	callee *vplan // nil for intrinsics and unresolved names
+	fn     string
+}
+
+// traceInfo is one fused superblock trace: tr.n micro-ops following the
+// uTrace head whose schedule was resolved at decode time.
+//
+// The schedule is (max,+)-linear in its inputs — the entry cycle C and the
+// live-in ready times — so every observable it produces is a max of
+// "input + precomputed longest-path weight" terms. Only two kinds of
+// observables exist: the trace's final cycle, and the post-trace ready
+// times of the registers whose ready anything later actually reads (the
+// outs; the liveness pass in buildFused filters dead ones). Both are
+// resolved at entry, before replay: the replay loop itself computes values
+// only and carries no issue/ready machinery at all.
+type traceInfo struct {
+	n     int32 // micro-op count (the replay span)
+	stepN int32 // dynamic instruction count (counter bumps excluded)
+	// liveIn lists the registers read before definition inside the trace.
+	// A live-in whose ready is ≤ C at entry cannot gate anything (the cycle
+	// chain threads C through every op), so only live-ins pending at entry
+	// contribute max-terms: their absolute ready plus the weights below.
+	liveIn []int32
+	// wCycle[q] is the longest dependence path from live-in q to the final
+	// cycle; noPath marks absent paths.
+	wCycle []int16
+	// cycleDelta is the final-cycle offset from C with no pending live-ins.
+	cycleDelta int64
+	// The outs: for each live-out definition o, outDst[o] is its register,
+	// outW0[o] its static ready offset from C, and outW[o*len(liveIn)+q]
+	// the longest dependence path from live-in q to its ready (noPath if
+	// none; row-major). All five slices are sub-slices of plan-wide flat
+	// arrays (see compactTraces) so one entry touches contiguous memory.
+	outDst []int32
+	outW0  []int16
+	outW   []int16
+}
+
+// noPath marks a (live-in, op) pair with no dependence path in a trace's
+// weight tables.
+const noPath = int16(-1) << 15
+
+// fBlock is one basic block in fused form.
+type fBlock struct {
+	uops []uop
+	// steps is the block's dynamic-instruction count (uCount and uTrace
+	// pseudo-ops excluded), used for bulk step accounting.
+	steps  int64
+	origin int
+
+	termKind ir.TermKind
+	cond     int32
+	condCost int64
+	thenIdx  int
+	elseIdx  int
+	val      int32 // return register (-1 when absent)
+}
+
+// traceFaultAt recomputes the exact reference accounting for a fault at
+// uops[j] inside the trace headed at uops[head]: the number of dynamic
+// instructions from the trace start through the faulting op inclusive, and
+// the absolute cycle at the fault, re-derived by symbolic replay from the
+// entry cycle and the pending live-in readies (the reference reports the
+// cycle before the faulting op advances it). Cold path: faults inside
+// traces are exceptional, so clarity beats speed here.
+func traceFaultAt(uops []uop, head, j int, base int64, pendReg []int32, pendReady []int64) (int64, int64) {
+	rel := make(map[int32]int64)
+	for q, reg := range pendReg {
+		rel[reg] = pendReady[q] - base
+	}
+	var c, n int64
+	for k := head + 1; k <= j; k++ {
+		v := &uops[k]
+		if v.kind == uCount {
+			continue
+		}
+		n++
+		if k == j {
+			break
+		}
+		issue := c
+		if t := rel[v.a]; t > issue {
+			issue = t
+		}
+		if t := rel[v.b]; t > issue {
+			issue = t
+		}
+		if t := rel[v.c]; t > issue {
+			issue = t
+		}
+		if v.kind != uStore {
+			rel[v.dst] = issue + int64(v.readyCost)
+		}
+		c = issue + int64(v.cycleCost)
+	}
+	return n, base + c
+}
+
+// execFused executes plan p on the fused engine. It mirrors execRef's
+// observable behaviour exactly; see the file comment for the contract.
+func (ex *execState) execFused(p *vplan, args []float64, depth int) (float64, int64, error) {
+	if depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("%w: call depth exceeded", ErrRuntime)
+	}
+	r := ex.r
+	p.sync(r)
+	lf := p.v.LF
+	rf := r.frameFused(depth, p.nregs)
+	// mask is a no-op for the register indices decode emits (all < nregs ≤
+	// len(rf), a power of two); its sole purpose is bounds-check elision.
+	mask := len(rf) - 1
+	ai := 0
+	for i, prm := range lf.Params {
+		if prm.IsArray {
+			continue
+		}
+		if ai < len(args) && lf.ParamRegs[i] != ir.NoReg {
+			rf[lf.ParamRegs[i]].val = args[ai]
+		}
+		ai++
+	}
+
+	var (
+		fblocks       = p.fblocks
+		mems          = p.mems
+		memMask       = len(p.mems) - 1 // mems is power-of-two padded
+		consts        = p.consts
+		constMask     = len(p.consts) - 1 // consts is power-of-two padded
+		pred          = p.pred
+		perBlockFetch = p.perBlockFetch
+		stats         = ex.stats
+		counters      = stats.Counters
+		hier          = r.Cache
+		recordWrites  = r.RecordWrites
+		countBlocks   = depth == 0 && len(stats.BlockCounts) > 0
+		steps         = ex.steps
+		maxSteps      = ex.maxSteps
+
+		cycle        int64
+		fetchPenalty float64
+	)
+
+	cur := 0 // slice index of current block
+	for {
+		bl := &fblocks[cur]
+		if countBlocks && bl.origin >= 0 && bl.origin < len(stats.BlockCounts) {
+			stats.BlockCounts[bl.origin]++
+		}
+		fetchPenalty += perBlockFetch
+
+		// Bulk step accounting: when the whole block fits under the step
+		// limit, the inner loop runs unchecked (blockLimit is never hit);
+		// otherwise per-op checks trip at the exact reference step.
+		blockLimit := int64(math.MaxInt64)
+		if steps+bl.steps > maxSteps {
+			blockLimit = maxSteps
+		}
+
+		uops := bl.uops
+		i := 0
+		for i < len(uops) {
+			u := &uops[i]
+			// Issue: stall until the operands are ready. Gating lives inside
+			// each case so an op only loads the ready slots it actually uses,
+			// and each real op opens with its step-limit check (pseudo-ops
+			// take no step).
+			issue := cycle
+			var val float64
+			switch u.kind {
+			case uCount:
+				if u.aux >= 0 {
+					counters[u.aux]++
+				}
+				i++
+				continue
+			case uTrace:
+				// Guarded entry to a fused superblock trace.
+				tr := &p.traces[u.aux]
+				if blockLimit != math.MaxInt64 {
+					// Near the step limit: per-op checked path instead.
+					i++
+					continue
+				}
+				// Resolve the whole schedule at entry. Scan the live-ins
+				// for any still in flight; each pending one contributes
+				// its delay as max-terms over the precomputed path weights
+				// ((max,+)-linearity, see buildTraces). The only schedule
+				// outputs anything can observe — the final cycle and the
+				// live-out ready times — are written here, so the replay
+				// loop below computes values only.
+				base := cycle
+				np := 0
+				for idx, li := range tr.liveIn {
+					if t := rf[int(li)&mask].ready; t > base {
+						ex.pIdx[np] = int32(idx)
+						ex.pReg[np] = li
+						ex.pReady[np] = t
+						np++
+					}
+				}
+				fin := base + tr.cycleDelta
+				if np == 0 {
+					for o, dst := range tr.outDst {
+						rf[int(dst)&mask].ready = base + int64(tr.outW0[o])
+					}
+				} else {
+					nli := len(tr.liveIn)
+					for o, dst := range tr.outDst {
+						rdy := base + int64(tr.outW0[o])
+						row := tr.outW[o*nli:]
+						for q := 0; q < np; q++ {
+							if w := row[ex.pIdx[q]]; w != noPath {
+								if c := ex.pReady[q] + int64(w); c > rdy {
+									rdy = c
+								}
+							}
+						}
+						rf[int(dst)&mask].ready = rdy
+					}
+					for q := 0; q < np; q++ {
+						if w := tr.wCycle[ex.pIdx[q]]; w != noPath {
+							if c := ex.pReady[q] + int64(w); c > fin {
+								fin = c
+							}
+						}
+					}
+				}
+				end := i + 1 + int(tr.n)
+				for j := i + 1; j < end; j++ {
+					v := &uops[j]
+					var val float64
+					switch v.kind {
+					case uCount:
+						if v.aux >= 0 {
+							counters[v.aux]++
+						}
+						continue
+					case uStore:
+						mi := &mems[int(v.aux)&memMask]
+						arr := mi.arr
+						if arr == nil {
+							n, c := traceFaultAt(uops, i, j, base, ex.pReg[:np], ex.pReady[:np])
+							ex.steps = steps + n
+							return 0, c, fmt.Errorf("%w: unknown array %q", ErrRuntime, mi.name)
+						}
+						i64 := int64(rf[int(v.a)&mask].val)
+						if uint64(i64) >= uint64(len(arr.Data)) {
+							n, c := traceFaultAt(uops, i, j, base, ex.pReg[:np], ex.pReady[:np])
+							ex.steps = steps + n
+							return 0, c, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+								ErrRuntime, mi.name, i64, len(arr.Data), p.name)
+						}
+						if recordWrites {
+							r.WriteLog = append(r.WriteLog, WriteRec{Arr: mi.name, Idx: i64, Old: arr.Data[i64]})
+						}
+						arr.Data[i64] = rf[int(v.c)&mask].val
+						addr := arr.Base + uint64(i64)*8
+						if hier.AccessLine(mi.hint, addr) < 0 {
+							_, mi.hint = hier.AccessMiss(addr)
+						}
+						continue
+					case uDiv:
+						d := int64(rf[int(v.b)&mask].val)
+						if d == 0 {
+							n, c := traceFaultAt(uops, i, j, base, ex.pReg[:np], ex.pReady[:np])
+							ex.steps = steps + n
+							return 0, c, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, p.name)
+						}
+						val = float64(int64(rf[int(v.a)&mask].val) / d)
+					case uMod:
+						d := int64(rf[int(v.b)&mask].val)
+						if d == 0 {
+							n, c := traceFaultAt(uops, i, j, base, ex.pReg[:np], ex.pReady[:np])
+							ex.steps = steps + n
+							return 0, c, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, p.name)
+						}
+						val = float64(int64(rf[int(v.a)&mask].val) % d)
+					case uConst:
+						val = consts[int(v.aux)&constMask]
+					case uMov:
+						val = rf[int(v.a)&mask].val
+					case uAdd:
+						val = rf[int(v.a)&mask].val + rf[int(v.b)&mask].val
+					case uSub:
+						val = rf[int(v.a)&mask].val - rf[int(v.b)&mask].val
+					case uMul:
+						val = rf[int(v.a)&mask].val * rf[int(v.b)&mask].val
+					case uFDiv:
+						val = rf[int(v.a)&mask].val / rf[int(v.b)&mask].val
+					case uAnd:
+						val = float64(int64(rf[int(v.a)&mask].val) & int64(rf[int(v.b)&mask].val))
+					case uOr:
+						val = float64(int64(rf[int(v.a)&mask].val) | int64(rf[int(v.b)&mask].val))
+					case uXor:
+						val = float64(int64(rf[int(v.a)&mask].val) ^ int64(rf[int(v.b)&mask].val))
+					case uShl:
+						val = float64(int64(rf[int(v.a)&mask].val) << (uint64(int64(rf[int(v.b)&mask].val)) & 63))
+					case uShr:
+						val = float64(int64(rf[int(v.a)&mask].val) >> (uint64(int64(rf[int(v.b)&mask].val)) & 63))
+					case uNeg:
+						val = -rf[int(v.a)&mask].val
+					case uNot:
+						if rf[int(v.a)&mask].val == 0 {
+							val = 1
+						}
+					case uCmpEq:
+						val = b2f(rf[int(v.a)&mask].val == rf[int(v.b)&mask].val)
+					case uCmpNe:
+						val = b2f(rf[int(v.a)&mask].val != rf[int(v.b)&mask].val)
+					case uCmpLt:
+						val = b2f(rf[int(v.a)&mask].val < rf[int(v.b)&mask].val)
+					case uCmpLe:
+						val = b2f(rf[int(v.a)&mask].val <= rf[int(v.b)&mask].val)
+					case uCmpGt:
+						val = b2f(rf[int(v.a)&mask].val > rf[int(v.b)&mask].val)
+					case uCmpGe:
+						val = b2f(rf[int(v.a)&mask].val >= rf[int(v.b)&mask].val)
+					case uSelect:
+						if rf[int(v.a)&mask].val != 0 {
+							val = rf[int(v.b)&mask].val
+						} else {
+							val = rf[int(v.c)&mask].val
+						}
+					}
+					rf[int(v.dst)&mask].val = val
+				}
+				steps += int64(tr.stepN)
+				cycle = fin
+				i = end
+				continue
+			case uConst:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				val = consts[int(u.aux)&constMask]
+			case uMov:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				val = rf[int(u.a)&mask].val
+			case uAdd:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = rf[int(u.a)&mask].val + rf[int(u.b)&mask].val
+			case uSub:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = rf[int(u.a)&mask].val - rf[int(u.b)&mask].val
+			case uMul:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = rf[int(u.a)&mask].val * rf[int(u.b)&mask].val
+			case uFDiv:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = rf[int(u.a)&mask].val / rf[int(u.b)&mask].val
+			case uAnd:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) & int64(rf[int(u.b)&mask].val))
+			case uOr:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) | int64(rf[int(u.b)&mask].val))
+			case uXor:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) ^ int64(rf[int(u.b)&mask].val))
+			case uShl:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) << (uint64(int64(rf[int(u.b)&mask].val)) & 63))
+			case uShr:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) >> (uint64(int64(rf[int(u.b)&mask].val)) & 63))
+			case uNeg:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				val = -rf[int(u.a)&mask].val
+			case uNot:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if rf[int(u.a)&mask].val == 0 {
+					val = 1
+				}
+			case uCmpEq:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val == rf[int(u.b)&mask].val)
+			case uCmpNe:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val != rf[int(u.b)&mask].val)
+			case uCmpLt:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val < rf[int(u.b)&mask].val)
+			case uCmpLe:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val <= rf[int(u.b)&mask].val)
+			case uCmpGt:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val > rf[int(u.b)&mask].val)
+			case uCmpGe:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				val = b2f(rf[int(u.a)&mask].val >= rf[int(u.b)&mask].val)
+			case uSelect:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.c)&mask].ready; t > issue {
+					issue = t
+				}
+				if rf[int(u.a)&mask].val != 0 {
+					val = rf[int(u.b)&mask].val
+				} else {
+					val = rf[int(u.c)&mask].val
+				}
+			case uDiv:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				d := int64(rf[int(u.b)&mask].val)
+				if d == 0 {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, p.name)
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) / d)
+			case uMod:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.b)&mask].ready; t > issue {
+					issue = t
+				}
+				d := int64(rf[int(u.b)&mask].val)
+				if d == 0 {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, p.name)
+				}
+				val = float64(int64(rf[int(u.a)&mask].val) % d)
+			case uLoad:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				mi := &mems[int(u.aux)&memMask]
+				arr := mi.arr
+				if arr == nil {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, mi.name)
+				}
+				i64 := int64(rf[int(u.a)&mask].val)
+				if uint64(i64) >= uint64(len(arr.Data)) {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, mi.name, i64, len(arr.Data), p.name)
+				}
+				rf[int(u.dst)&mask].val = arr.Data[i64]
+				addr := arr.Base + uint64(i64)*8
+				lat := hier.AccessLine(mi.hint, addr)
+				if lat < 0 {
+					lat, mi.hint = hier.AccessMiss(addr)
+				}
+				rf[int(u.dst)&mask].ready = issue + int64(u.readyCost) + lat
+				cycle = issue + int64(u.cycleCost)
+				i++
+				continue
+			case uStore:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				if t := rf[int(u.a)&mask].ready; t > issue {
+					issue = t
+				}
+				if t := rf[int(u.c)&mask].ready; t > issue {
+					issue = t
+				}
+				mi := &mems[int(u.aux)&memMask]
+				arr := mi.arr
+				if arr == nil {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, mi.name)
+				}
+				i64 := int64(rf[int(u.a)&mask].val)
+				if uint64(i64) >= uint64(len(arr.Data)) {
+					ex.steps = steps
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, mi.name, i64, len(arr.Data), p.name)
+				}
+				if recordWrites {
+					r.WriteLog = append(r.WriteLog, WriteRec{Arr: mi.name, Idx: i64, Old: arr.Data[i64]})
+				}
+				arr.Data[i64] = rf[int(u.c)&mask].val
+				// Store completion can overlap with later work: the access
+				// updates cache state but charges no latency here.
+				addr := arr.Base + uint64(i64)*8
+				if hier.AccessLine(mi.hint, addr) < 0 {
+					_, mi.hint = hier.AccessMiss(addr)
+				}
+				cycle = issue + int64(u.cycleCost)
+				i++
+				continue
+			case uCallIntr:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				ci := &p.calls[u.aux]
+				cargs := ci.args
+				callArgs := r.callBuf(depth, len(cargs))
+				for j, ar := range cargs {
+					if t := rf[int(ar)&mask].ready; t > issue {
+						issue = t
+					}
+					callArgs[j] = rf[int(ar)&mask].val
+				}
+				iv, err := intrinsic(ci.fn, callArgs)
+				if err != nil {
+					ex.steps = steps
+					return 0, cycle, err
+				}
+				val = iv
+			case uCallUser:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				ci := &p.calls[u.aux]
+				cargs := ci.args
+				callArgs := r.callBuf(depth, len(cargs))
+				for j, ar := range cargs {
+					if t := rf[int(ar)&mask].ready; t > issue {
+						issue = t
+					}
+					callArgs[j] = rf[int(ar)&mask].val
+				}
+				ex.steps = steps
+				rv, ccycles, err := ex.execFused(ci.callee, callArgs, depth+1)
+				steps = ex.steps
+				if err != nil {
+					return 0, cycle, err
+				}
+				// The callee consumed step budget: re-arm per-op checking
+				// if the rest of the block could now cross the limit.
+				if blockLimit == math.MaxInt64 && steps+bl.steps > maxSteps {
+					blockLimit = maxSteps
+				}
+				rf[int(u.dst)&mask].val = rv
+				rf[int(u.dst)&mask].ready = issue + int64(u.readyCost) + ccycles
+				cycle = issue + int64(u.cycleCost) + ccycles
+				i++
+				continue
+			case uCallBad:
+				if steps++; steps > blockLimit {
+					goto stepLimit
+				}
+				ex.steps = steps
+				return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, p.calls[u.aux].fn)
+			}
+
+			rf[int(u.dst)&mask].val = val
+			rf[int(u.dst)&mask].ready = issue + int64(u.readyCost)
+			cycle = issue + int64(u.cycleCost)
+			i++
+		}
+
+		// Terminator — identical to the reference engine.
+		switch bl.termKind {
+		case ir.TermReturn:
+			ex.steps = steps
+			total := cycle + int64(fetchPenalty)
+			if bl.val >= 0 {
+				return rf[int(bl.val)&mask].val, total, nil
+			}
+			return math.NaN(), total, nil
+		case ir.TermJump:
+			next := bl.thenIdx
+			if next != cur+1 {
+				cycle += p.takenCost
+			}
+			cur = next
+		case ir.TermBranch:
+			if t := rf[int(bl.cond)&mask].ready; t > cycle {
+				cycle = t
+			}
+			cycle += bl.condCost
+			taken := rf[int(bl.cond)&mask].val != 0
+			state := pred[cur]
+			predTaken := state >= 2
+			if predTaken != taken {
+				cycle += p.mispredict
+			}
+			if taken && state < 3 {
+				state++
+			} else if !taken && state > 0 {
+				state--
+			}
+			pred[cur] = state
+
+			var next int
+			if taken {
+				next = bl.thenIdx
+			} else {
+				next = bl.elseIdx
+			}
+			if next != cur+1 {
+				cycle += p.takenCost
+			}
+			cur = next
+		}
+	}
+
+	// Reached only by goto from a per-op step check: the checked path is
+	// armed (blockLimit == maxSteps) and this op crossed the limit.
+stepLimit:
+	ex.steps = steps
+	return 0, cycle, fmt.Errorf("%w in %s", ErrStepLimit, p.name)
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"peak/internal/ir"
+	"peak/internal/irbuild"
+	"peak/internal/machine"
+)
+
+// TestUnknownIntrinsicHelper pins the evaluator's contract: known intrinsics
+// compute, unknown names are a hard ErrRuntime rather than a silent NaN that
+// would surface later as a quarantinable numeric diff.
+func TestUnknownIntrinsicHelper(t *testing.T) {
+	if v, err := intrinsic("sqrt", []float64{9}); err != nil || v != 3 {
+		t.Fatalf(`intrinsic("sqrt", 9) = %v, %v; want 3, nil`, v, err)
+	}
+	_, err := intrinsic("frobnicate", nil)
+	if !errors.Is(err, ErrRuntime) {
+		t.Fatalf("unknown intrinsic error = %v, want ErrRuntime", err)
+	}
+	if want := `unknown intrinsic "frobnicate"`; !strings.Contains(err.Error(), want) {
+		t.Errorf("unknown intrinsic error = %q, want it to contain %q", err, want)
+	}
+}
+
+// TestUnknownIntrinsicBothEngines simulates an ir/sim intrinsic-table drift
+// (decode recognized a name the evaluator does not know) and checks that both
+// execution engines surface it as the unknown-intrinsic ErrRuntime instead of
+// producing a value.
+func TestUnknownIntrinsicBothEngines(t *testing.T) {
+	prog := ir.NewProgram()
+	b := irbuild.NewFunc("f")
+	b.ScalarParam("x", ir.F64)
+	fn := b.Body(b.Ret(b.Call("sqrt", b.V("x"))))
+	prog.AddFunc(fn)
+	m := machine.SPARCII()
+	v := compile(t, prog, fn, m)
+	r := NewRunner(m, NewMemory(prog), 1)
+
+	// Rewrite the decoded call bindings of both engines to a name the
+	// evaluator does not implement, keeping the intrinsic marking.
+	p := r.plan(v)
+	for bi := range p.blocks {
+		for ii := range p.blocks[bi].instrs {
+			if d := &p.blocks[bi].instrs[ii]; d.intr {
+				d.fn = "sqrtish"
+			}
+		}
+	}
+	for ci := range p.calls {
+		p.calls[ci].fn = "sqrtish"
+	}
+
+	for _, eng := range []Engine{EngineFused, EngineRef} {
+		r.Engine = eng
+		_, _, err := r.Run(v, []float64{4})
+		if !errors.Is(err, ErrRuntime) {
+			t.Errorf("engine %d: err = %v, want ErrRuntime", eng, err)
+			continue
+		}
+		if want := `unknown intrinsic "sqrtish"`; !strings.Contains(err.Error(), want) {
+			t.Errorf("engine %d: err = %q, want it to contain %q", eng, err, want)
+		}
+	}
+}

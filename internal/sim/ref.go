@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"peak/internal/ir"
+)
+
+// This file is the reference execution engine: the original per-instruction
+// interpreter, preserved verbatim as the semantic ground truth for the fused
+// superblock engine (exec.go). It walks the decoded dInstr tables (plan.go)
+// and dynamically resolves operand stalls, cycle charges, cache latencies
+// and predictor updates per instruction.
+//
+// The fused engine must be bit-identical to this one — return value,
+// Cycles, Instrs, Counters, BlockCounts, predictor evolution, WriteLog, and
+// every error path including the exact step at which ErrStepLimit fires.
+// TestDifferentialBenchmarks and TestDifferentialRandomLIR enforce that
+// contract; the reference engine itself is selected with Runner.Engine =
+// EngineRef and is not performance-tuned.
+
+func (ex *execState) execRef(p *vplan, args []float64, depth int) (float64, int64, error) {
+	if depth > maxCallDepth {
+		return 0, 0, fmt.Errorf("%w: call depth exceeded", ErrRuntime)
+	}
+	r := ex.r
+	p.sync(r)
+	lf := p.v.LF
+	regs, ready := r.frame(depth, lf.NumRegs)
+	ai := 0
+	for i, prm := range lf.Params {
+		if prm.IsArray {
+			continue
+		}
+		if ai < len(args) && lf.ParamRegs[i] != ir.NoReg {
+			regs[lf.ParamRegs[i]] = args[ai]
+		}
+		ai++
+	}
+
+	blocks := p.blocks
+	pred := p.pred
+	perBlockFetch := p.perBlockFetch
+	var cycle int64
+	var fetchPenalty float64
+
+	cur := 0 // slice index of current block
+	for {
+		b := &blocks[cur]
+		if depth == 0 && b.origin >= 0 && b.origin < len(ex.stats.BlockCounts) {
+			ex.stats.BlockCounts[b.origin]++
+		}
+		fetchPenalty += perBlockFetch
+
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			if in.op == ir.LCount {
+				if c := int(in.imm); c >= 0 && c < len(ex.stats.Counters) {
+					ex.stats.Counters[c]++
+				}
+				continue
+			}
+			ex.steps++
+			ex.stats.Instrs++
+			if ex.steps > ex.maxSteps {
+				return 0, cycle, fmt.Errorf("%w in %s", ErrStepLimit, p.name)
+			}
+
+			// Issue: stall until operands are ready. Spill loads, call
+			// linkage and intrinsic costs are folded into in.cost.
+			issue := cycle
+			cost := in.cost
+			var extraLat int64
+			for _, u := range in.uses {
+				if ready[u] > issue {
+					issue = ready[u]
+				}
+			}
+
+			var val float64
+			switch in.op {
+			case ir.LMovI:
+				val = float64(in.imm)
+			case ir.LMovF:
+				val = in.fimm
+			case ir.LMov:
+				val = regs[in.a]
+			case ir.LAdd, ir.LFAdd:
+				val = regs[in.a] + regs[in.b]
+			case ir.LSub, ir.LFSub:
+				val = regs[in.a] - regs[in.b]
+			case ir.LMul, ir.LFMul:
+				val = regs[in.a] * regs[in.b]
+			case ir.LFDiv:
+				val = regs[in.a] / regs[in.b]
+			case ir.LDiv:
+				d := int64(regs[in.b])
+				if d == 0 {
+					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, p.name)
+				}
+				val = float64(int64(regs[in.a]) / d)
+			case ir.LMod:
+				d := int64(regs[in.b])
+				if d == 0 {
+					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, p.name)
+				}
+				val = float64(int64(regs[in.a]) % d)
+			case ir.LAnd:
+				val = float64(int64(regs[in.a]) & int64(regs[in.b]))
+			case ir.LOr:
+				val = float64(int64(regs[in.a]) | int64(regs[in.b]))
+			case ir.LXor:
+				val = float64(int64(regs[in.a]) ^ int64(regs[in.b]))
+			case ir.LShl:
+				val = float64(int64(regs[in.a]) << (uint64(int64(regs[in.b])) & 63))
+			case ir.LShr:
+				val = float64(int64(regs[in.a]) >> (uint64(int64(regs[in.b])) & 63))
+			case ir.LNeg, ir.LFNeg:
+				val = -regs[in.a]
+			case ir.LNot:
+				if regs[in.a] == 0 {
+					val = 1
+				}
+			case ir.LCmpEq, ir.LFCmpEq:
+				val = b2f(regs[in.a] == regs[in.b])
+			case ir.LCmpNe, ir.LFCmpNe:
+				val = b2f(regs[in.a] != regs[in.b])
+			case ir.LCmpLt, ir.LFCmpLt:
+				val = b2f(regs[in.a] < regs[in.b])
+			case ir.LCmpLe, ir.LFCmpLe:
+				val = b2f(regs[in.a] <= regs[in.b])
+			case ir.LCmpGt, ir.LFCmpGt:
+				val = b2f(regs[in.a] > regs[in.b])
+			case ir.LCmpGe, ir.LFCmpGe:
+				val = b2f(regs[in.a] >= regs[in.b])
+			case ir.LSelect:
+				if regs[in.a] != 0 {
+					val = regs[in.b]
+				} else {
+					val = regs[in.src]
+				}
+			case ir.LLoad:
+				arr := in.arr
+				if arr == nil {
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
+				}
+				i64 := int64(regs[in.a])
+				if i64 < 0 || i64 >= int64(len(arr.Data)) {
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
+				}
+				val = arr.Data[i64]
+				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
+			case ir.LStore:
+				arr := in.arr
+				if arr == nil {
+					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
+				}
+				i64 := int64(regs[in.a])
+				if i64 < 0 || i64 >= int64(len(arr.Data)) {
+					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
+						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
+				}
+				if r.RecordWrites {
+					r.WriteLog = append(r.WriteLog, WriteRec{Arr: in.arrName, Idx: i64, Old: arr.Data[i64]})
+				}
+				arr.Data[i64] = regs[in.src]
+				// Store completion can overlap with later work: the access
+				// updates cache state but charges no latency here.
+				r.Cache.Access(arr.Base + uint64(i64)*8)
+			case ir.LCall:
+				callArgs := r.callBuf(depth, len(in.callArgs))
+				for k, ar := range in.callArgs {
+					callArgs[k] = regs[ar]
+				}
+				if in.intr {
+					iv, err := intrinsic(in.fn, callArgs)
+					if err != nil {
+						return 0, cycle, err
+					}
+					val = iv
+				} else if in.callee == nil {
+					return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, in.fn)
+				} else {
+					rv, ccycles, err := ex.execRef(in.callee, callArgs, depth+1)
+					if err != nil {
+						return 0, cycle, err
+					}
+					val = rv
+					cost += ccycles
+				}
+			}
+
+			if d := in.def; d != ir.NoReg {
+				regs[d] = val
+				ready[d] = issue + cost + in.lat + extraLat
+				cost += in.storeCost
+			}
+			cycle = issue + cost
+		}
+
+		// Terminator.
+		switch b.termKind {
+		case ir.TermReturn:
+			total := cycle + int64(fetchPenalty)
+			if b.val != ir.NoReg {
+				return regs[b.val], total, nil
+			}
+			return math.NaN(), total, nil
+		case ir.TermJump:
+			next := b.thenIdx
+			if next != cur+1 {
+				cycle += p.takenCost
+			}
+			cur = next
+		case ir.TermBranch:
+			if ready[b.cond] > cycle {
+				cycle = ready[b.cond]
+			}
+			cycle += b.condCost
+			taken := regs[b.cond] != 0
+			state := pred[cur]
+			predTaken := state >= 2
+			if predTaken != taken {
+				cycle += p.mispredict
+			}
+			if taken && state < 3 {
+				state++
+			} else if !taken && state > 0 {
+				state--
+			}
+			pred[cur] = state
+
+			var next int
+			if taken {
+				next = b.thenIdx
+			} else {
+				next = b.elseIdx
+			}
+			if next != cur+1 {
+				cycle += p.takenCost
+			}
+			cur = next
+		}
+	}
+}

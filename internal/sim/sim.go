@@ -110,12 +110,32 @@ type RunStats struct {
 	Instrs int64
 }
 
+// Engine selects the execution engine of a Runner.
+type Engine int
+
+// Execution engines. Both are decoded from the same plan and are
+// bit-identical in every observable output (return value, RunStats, errors,
+// predictor and cache evolution); the differential tests in diff_test.go
+// enforce the equivalence.
+const (
+	// EngineFused is the superblock micro-op engine (exec.go): compact
+	// pre-decoded micro-ops with fused straight-line ALU traces. The
+	// default.
+	EngineFused Engine = iota
+	// EngineRef is the original per-instruction reference interpreter
+	// (ref.go), kept as semantic ground truth for differential testing.
+	EngineRef
+)
+
 // Runner holds machine state that persists across executions: the data
 // cache, the branch predictor, and the noise source.
 type Runner struct {
 	Mach  *machine.Machine
 	Mem   *Memory
 	Cache *cache.Hierarchy
+
+	// Engine selects the execution engine (default EngineFused).
+	Engine Engine
 
 	// plans holds the per-version decoded dispatch tables (see plan.go),
 	// including the 2-bit branch-predictor counters; predictor state
@@ -148,6 +168,7 @@ type Runner struct {
 	// scratch buffers reused across invocations, one per call depth.
 	scratchRegs  [][]float64
 	scratchReady [][]int64
+	scratchRF    [][]regState
 	scratchArgs  [][]float64
 
 	ex execState
@@ -170,6 +191,37 @@ func (r *Runner) frame(depth, n int) ([]float64, []int64) {
 		ready[i] = 0
 	}
 	return regs, ready
+}
+
+// regState is one fused-engine register slot: the value and its ready time
+// interleaved, so touching an operand's value and readiness costs one cache
+// line instead of two.
+type regState struct {
+	val   float64
+	ready int64
+}
+
+// frameFused returns a zeroed register frame for the fused engine at a call
+// depth. The frame is padded to a power-of-two length so the interpreter
+// can index it as rf[i&(len(rf)-1)] — the mask is a no-op for the valid
+// indices decode produces (all < n) and lets the compiler elide every
+// bounds check in the hot loop.
+func (r *Runner) frameFused(depth, n int) []regState {
+	for len(r.scratchRF) <= depth {
+		r.scratchRF = append(r.scratchRF, nil)
+	}
+	n2 := 1
+	for n2 < n {
+		n2 <<= 1
+	}
+	if cap(r.scratchRF[depth]) < n2 {
+		r.scratchRF[depth] = make([]regState, n2)
+	}
+	rf := r.scratchRF[depth][:n2]
+	for i := range rf {
+		rf[i] = regState{}
+	}
+	return rf
 }
 
 // callBuf returns an argument buffer for a call made at the given depth.
@@ -221,8 +273,10 @@ var ErrStepLimit = fmt.Errorf("%w: step limit exceeded", ErrRuntime)
 // return value (NaN if none) and execution statistics.
 //
 // The first Run of a version on this runner decodes it into a dispatch
-// plan (plan.go); subsequent Runs reuse the plan, so the interpreter loop
-// performs no map lookups or operand re-decoding per invocation.
+// plan (plan.go): flat micro-op tables with fused superblock traces for the
+// default engine, plus the dInstr tables the reference engine walks.
+// Subsequent Runs reuse the plan, so the execution loop performs no map
+// lookups or operand re-decoding per invocation.
 func (r *Runner) Run(v *Version, args []float64) (float64, RunStats, error) {
 	p := r.plan(v)
 	stats := RunStats{}
@@ -239,7 +293,21 @@ func (r *Runner) Run(v *Version, args []float64) (float64, RunStats, error) {
 	}
 	ex := &r.ex
 	ex.r, ex.stats, ex.steps, ex.maxSteps = r, &stats, 0, maxSteps
-	ret, cycles, err := ex.exec(p, args, 0)
+	var (
+		ret    float64
+		cycles int64
+		err    error
+	)
+	if r.Engine == EngineRef {
+		// The reference engine counts stats.Instrs incrementally.
+		ret, cycles, err = ex.execRef(p, args, 0)
+	} else {
+		// The fused engine counts steps in bulk; steps and Instrs are
+		// incremented in lockstep by the reference, so the final step
+		// count IS the dynamic instruction count.
+		ret, cycles, err = ex.execFused(p, args, 0)
+		stats.Instrs = ex.steps
+	}
 	ex.stats = nil
 	stats.Cycles = cycles
 	return ret, stats, err
@@ -250,231 +318,19 @@ type execState struct {
 	stats    *RunStats
 	steps    int64
 	maxSteps int64
+
+	// Pending live-ins at the current trace entry: their index in the
+	// trace's liveIn list, register number, and absolute ready time, kept
+	// here so the hot entry path writes into persistent storage instead of
+	// freshly zeroed stack arrays. Traces never nest, so one set per
+	// execState suffices. pReg feeds only the cold in-trace fault path
+	// (exec.go traceFaultAt).
+	pIdx   [maxTraceLiveIn]int32
+	pReg   [maxTraceLiveIn]int32
+	pReady [maxTraceLiveIn]int64
 }
 
 const maxCallDepth = 16
-
-func (ex *execState) exec(p *vplan, args []float64, depth int) (float64, int64, error) {
-	if depth > maxCallDepth {
-		return 0, 0, fmt.Errorf("%w: call depth exceeded", ErrRuntime)
-	}
-	r := ex.r
-	p.sync(r)
-	lf := p.v.LF
-	regs, ready := r.frame(depth, lf.NumRegs)
-	ai := 0
-	for i, prm := range lf.Params {
-		if prm.IsArray {
-			continue
-		}
-		if ai < len(args) && lf.ParamRegs[i] != ir.NoReg {
-			regs[lf.ParamRegs[i]] = args[ai]
-		}
-		ai++
-	}
-
-	blocks := p.blocks
-	pred := p.pred
-	perBlockFetch := p.perBlockFetch
-	var cycle int64
-	var fetchPenalty float64
-
-	cur := 0 // slice index of current block
-	for {
-		b := &blocks[cur]
-		if depth == 0 && b.origin >= 0 && b.origin < len(ex.stats.BlockCounts) {
-			ex.stats.BlockCounts[b.origin]++
-		}
-		fetchPenalty += perBlockFetch
-
-		for i := range b.instrs {
-			in := &b.instrs[i]
-			if in.op == ir.LCount {
-				if c := int(in.imm); c >= 0 && c < len(ex.stats.Counters) {
-					ex.stats.Counters[c]++
-				}
-				continue
-			}
-			ex.steps++
-			ex.stats.Instrs++
-			if ex.steps > ex.maxSteps {
-				return 0, cycle, fmt.Errorf("%w in %s", ErrStepLimit, p.name)
-			}
-
-			// Issue: stall until operands are ready. Spill loads, call
-			// linkage and intrinsic costs are folded into in.cost.
-			issue := cycle
-			cost := in.cost
-			var extraLat int64
-			for _, u := range in.uses {
-				if ready[u] > issue {
-					issue = ready[u]
-				}
-			}
-
-			var val float64
-			switch in.op {
-			case ir.LMovI:
-				val = float64(in.imm)
-			case ir.LMovF:
-				val = in.fimm
-			case ir.LMov:
-				val = regs[in.a]
-			case ir.LAdd, ir.LFAdd:
-				val = regs[in.a] + regs[in.b]
-			case ir.LSub, ir.LFSub:
-				val = regs[in.a] - regs[in.b]
-			case ir.LMul, ir.LFMul:
-				val = regs[in.a] * regs[in.b]
-			case ir.LFDiv:
-				val = regs[in.a] / regs[in.b]
-			case ir.LDiv:
-				d := int64(regs[in.b])
-				if d == 0 {
-					return 0, cycle, fmt.Errorf("%w: integer division by zero in %s", ErrRuntime, p.name)
-				}
-				val = float64(int64(regs[in.a]) / d)
-			case ir.LMod:
-				d := int64(regs[in.b])
-				if d == 0 {
-					return 0, cycle, fmt.Errorf("%w: integer modulo by zero in %s", ErrRuntime, p.name)
-				}
-				val = float64(int64(regs[in.a]) % d)
-			case ir.LAnd:
-				val = float64(int64(regs[in.a]) & int64(regs[in.b]))
-			case ir.LOr:
-				val = float64(int64(regs[in.a]) | int64(regs[in.b]))
-			case ir.LXor:
-				val = float64(int64(regs[in.a]) ^ int64(regs[in.b]))
-			case ir.LShl:
-				val = float64(int64(regs[in.a]) << (uint64(int64(regs[in.b])) & 63))
-			case ir.LShr:
-				val = float64(int64(regs[in.a]) >> (uint64(int64(regs[in.b])) & 63))
-			case ir.LNeg, ir.LFNeg:
-				val = -regs[in.a]
-			case ir.LNot:
-				if regs[in.a] == 0 {
-					val = 1
-				}
-			case ir.LCmpEq, ir.LFCmpEq:
-				val = b2f(regs[in.a] == regs[in.b])
-			case ir.LCmpNe, ir.LFCmpNe:
-				val = b2f(regs[in.a] != regs[in.b])
-			case ir.LCmpLt, ir.LFCmpLt:
-				val = b2f(regs[in.a] < regs[in.b])
-			case ir.LCmpLe, ir.LFCmpLe:
-				val = b2f(regs[in.a] <= regs[in.b])
-			case ir.LCmpGt, ir.LFCmpGt:
-				val = b2f(regs[in.a] > regs[in.b])
-			case ir.LCmpGe, ir.LFCmpGe:
-				val = b2f(regs[in.a] >= regs[in.b])
-			case ir.LSelect:
-				if regs[in.a] != 0 {
-					val = regs[in.b]
-				} else {
-					val = regs[in.src]
-				}
-			case ir.LLoad:
-				arr := in.arr
-				if arr == nil {
-					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
-				}
-				i64 := int64(regs[in.a])
-				if i64 < 0 || i64 >= int64(len(arr.Data)) {
-					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
-						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
-				}
-				val = arr.Data[i64]
-				extraLat += r.Cache.Access(arr.Base + uint64(i64)*8)
-			case ir.LStore:
-				arr := in.arr
-				if arr == nil {
-					return 0, cycle, fmt.Errorf("%w: unknown array %q", ErrRuntime, in.arrName)
-				}
-				i64 := int64(regs[in.a])
-				if i64 < 0 || i64 >= int64(len(arr.Data)) {
-					return 0, cycle, fmt.Errorf("%w: %s[%d] out of range [0,%d) in %s",
-						ErrRuntime, in.arrName, i64, len(arr.Data), p.name)
-				}
-				if r.RecordWrites {
-					r.WriteLog = append(r.WriteLog, WriteRec{Arr: in.arrName, Idx: i64, Old: arr.Data[i64]})
-				}
-				arr.Data[i64] = regs[in.src]
-				// Store completion can overlap with later work: the access
-				// updates cache state but charges no latency here.
-				r.Cache.Access(arr.Base + uint64(i64)*8)
-			case ir.LCall:
-				callArgs := r.callBuf(depth, len(in.callArgs))
-				for k, ar := range in.callArgs {
-					callArgs[k] = regs[ar]
-				}
-				if in.intr {
-					val = intrinsic(in.fn, callArgs)
-				} else if in.callee == nil {
-					return 0, cycle, fmt.Errorf("%w: unresolved call to %q", ErrRuntime, in.fn)
-				} else {
-					rv, ccycles, err := ex.exec(in.callee, callArgs, depth+1)
-					if err != nil {
-						return 0, cycle, err
-					}
-					val = rv
-					cost += ccycles
-				}
-			}
-
-			if d := in.def; d != ir.NoReg {
-				regs[d] = val
-				ready[d] = issue + cost + in.lat + extraLat
-				cost += in.storeCost
-			}
-			cycle = issue + cost
-		}
-
-		// Terminator.
-		switch b.termKind {
-		case ir.TermReturn:
-			total := cycle + int64(fetchPenalty)
-			if b.val != ir.NoReg {
-				return regs[b.val], total, nil
-			}
-			return math.NaN(), total, nil
-		case ir.TermJump:
-			next := b.thenIdx
-			if next != cur+1 {
-				cycle += p.takenCost
-			}
-			cur = next
-		case ir.TermBranch:
-			if ready[b.cond] > cycle {
-				cycle = ready[b.cond]
-			}
-			cycle += b.condCost
-			taken := regs[b.cond] != 0
-			state := pred[cur]
-			predTaken := state >= 2
-			if predTaken != taken {
-				cycle += p.mispredict
-			}
-			if taken && state < 3 {
-				state++
-			} else if !taken && state > 0 {
-				state--
-			}
-			pred[cur] = state
-
-			var next int
-			if taken {
-				next = b.thenIdx
-			} else {
-				next = b.elseIdx
-			}
-			if next != cur+1 {
-				cycle += p.takenCost
-			}
-			cur = next
-		}
-	}
-}
 
 func b2f(b bool) float64 {
 	if b {
@@ -483,38 +339,42 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-func intrinsic(name string, args []float64) float64 {
+// intrinsic evaluates a built-in math intrinsic. An unrecognized name is a
+// hard ErrRuntime: silently returning NaN (the pre-PR-8 behaviour) could
+// mask an ir/sim intrinsic-table drift as a quarantinable numeric diff
+// instead of surfacing it as the miscompile it is.
+func intrinsic(name string, args []float64) (float64, error) {
 	switch name {
 	case "sqrt":
-		return math.Sqrt(args[0])
+		return math.Sqrt(args[0]), nil
 	case "abs":
-		return math.Abs(args[0])
+		return math.Abs(args[0]), nil
 	case "floor":
-		return math.Floor(args[0])
+		return math.Floor(args[0]), nil
 	case "sin":
-		return math.Sin(args[0])
+		return math.Sin(args[0]), nil
 	case "cos":
-		return math.Cos(args[0])
+		return math.Cos(args[0]), nil
 	case "exp":
-		return math.Exp(args[0])
+		return math.Exp(args[0]), nil
 	case "log":
-		return math.Log(args[0])
+		return math.Log(args[0]), nil
 	case "min":
-		return math.Min(args[0], args[1])
+		return math.Min(args[0], args[1]), nil
 	case "max":
-		return math.Max(args[0], args[1])
+		return math.Max(args[0], args[1]), nil
 	case "imin":
 		if args[0] < args[1] {
-			return args[0]
+			return args[0], nil
 		}
-		return args[1]
+		return args[1], nil
 	case "imax":
 		if args[0] > args[1] {
-			return args[0]
+			return args[0], nil
 		}
-		return args[1]
+		return args[1], nil
 	}
-	return math.NaN()
+	return 0, fmt.Errorf("%w: unknown intrinsic %q", ErrRuntime, name)
 }
 
 // Clock converts deterministic cycle counts into noisy "measured" times.
