@@ -1,0 +1,51 @@
+// Command peak-chaos soaks the peak-serve resilience layer: it drives a
+// real in-process server through a seeded schedule of injected faults,
+// deadline expiries, drains, journal tears and restarts, then verifies
+// the exactly-once, byte-identical completion contract. Exit status 0
+// means every assertion held; 1 means the report lists violations; 2
+// means the harness itself failed to run.
+//
+// Usage:
+//
+//	peak-chaos [-jobs 50] [-seed 1] [-epochs 4] [-smoke] [-q]
+//
+// -smoke shrinks the schedule to a sub-30-second check (8 specs, 2
+// epochs) for CI; the full soak defaults to 50 specs over 4 epochs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peak/internal/chaos"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 50, "spec pool size (distinct canonical tuning specs, max 88)")
+	seed := flag.Int64("seed", 1, "chaos schedule seed")
+	epochs := flag.Int("epochs", 4, "chaos epochs before the cleanup epoch")
+	smoke := flag.Bool("smoke", false, "fast CI schedule: 8 specs over 2 epochs")
+	quiet := flag.Bool("q", false, "suppress progress lines (the report still prints)")
+	flag.Parse()
+
+	cfg := chaos.Config{Jobs: *jobs, Seed: *seed, Epochs: *epochs}
+	if *smoke {
+		cfg.Jobs, cfg.Epochs = 8, 2
+	}
+	if !*quiet {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peak-chaos:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.Format())
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}

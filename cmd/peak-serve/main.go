@@ -13,13 +13,25 @@
 // -journal — every completed round is checkpointed, so re-POSTing an
 // interrupted job's request to a restarted server resumes it
 // byte-identically. The drain prints one resume command per interrupted
-// job.
+// job. The journal is crash-safe beyond the graceful path: records are
+// CRC-framed, so a SIGKILL mid-write loses at most the torn final record,
+// which the restart detects, drops and reports.
+//
+// The resilience knobs (all off by default) bound how badly a job or a
+// failure storm can hurt the service: -deadline caps any job's wall time
+// (per-request deadline_ms overrides it), -watchdog cancels jobs that stop
+// making round progress, and -breaker-failures arms a circuit breaker that
+// sheds new work with 503 after that many consecutive job failures while
+// finished results keep serving. Timed-out jobs keep their checkpoints —
+// resubmitting resumes them.
 //
 // Usage:
 //
 //	peak-serve -addr :8080                      # serve
 //	peak-serve -jobs 4 -workers 8 -queue 32     # 4 concurrent jobs
 //	peak-serve -journal serve.jsonl             # checkpoint + resume
+//	peak-serve -deadline 2m -watchdog 30s       # per-job wall-clock bounds
+//	peak-serve -breaker-failures 5              # shed load after 5 straight failures
 //	peak-serve -smoke MGRID/sparc2              # one job end to end, report on stdout
 //
 //	curl -X POST localhost:8080/tune -d '{"bench":"MGRID","machine":"sparc2"}'
@@ -56,15 +68,30 @@ func main() {
 		noCache  = flag.Bool("nocache", false, "private per-job compile caches instead of the shared one (results identical either way)")
 		journal  = flag.String("journal", "", "checkpoint journal path: jobs checkpoint every round and resume across restarts")
 		smoke    = flag.String("smoke", "", `run one job end to end and print its report ("BENCH/machine", e.g. "MGRID/sparc2")`)
+
+		deadline = flag.Duration("deadline", 0, "default per-job wall-clock deadline (0 = none; a request's deadline_ms overrides it)")
+		watchdog = flag.Duration("watchdog", 0, "cancel running jobs that make no round progress for this long (0 = off)")
+		brkFails = flag.Int("breaker-failures", 0, "consecutive job failures that trip the circuit breaker (0 = off)")
+		brkCool  = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a probe job is admitted")
+		quarStrm = flag.Int("quarantine-storm", 0, "quarantined flags per job that count as a breaker failure (0 = off)")
+
+		readHdrTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris bound)")
+		writeTimeout   = flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+		idleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
 	)
 	flag.Parse()
 
 	opts := serve.Options{
-		Workers:       *workers,
-		Jobs:          *jobs,
-		Queue:         *queueCap,
-		NoSharedCache: *noCache,
-		JournalPath:   *journal,
+		Workers:         *workers,
+		Jobs:            *jobs,
+		Queue:           *queueCap,
+		NoSharedCache:   *noCache,
+		JournalPath:     *journal,
+		Deadline:        *deadline,
+		WatchdogStall:   *watchdog,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
+		QuarantineStorm: *quarStrm,
 	}
 	if *journal != "" {
 		var j *peak.Journal
@@ -76,6 +103,11 @@ func main() {
 		}
 		if err != nil {
 			fatalf("%v", err)
+		}
+		// Surface what recovery found: after a SIGKILL the journal may have
+		// lost its torn tail record — say so, and say it was repaired.
+		if rec := j.Recovery(); rec.Records > 0 || rec.DroppedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "peak-serve: %s\n", rec.String())
 		}
 		opts.Journal = j
 		defer j.Close()
@@ -92,7 +124,17 @@ func main() {
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	// The HTTP timeouts bound connection-level abuse: a client trickling
+	// its request headers (slowloris), a stalled response write, or an idle
+	// keep-alive hoard can no longer pin goroutines and file descriptors
+	// forever. Long-poll clients are unaffected — job polling is GET with
+	// small bodies well inside these bounds.
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHdrTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	fmt.Fprintf(os.Stderr, "peak-serve: listening on %s (%d job slot(s), pool width %d, queue %d)\n",
 		ln.Addr(), *jobs, *workers, *queueCap)
 
@@ -103,7 +145,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "peak-serve: draining (running jobs stop at their next round boundary)...")
 		interrupted := s.Drain()
 		for _, r := range interrupted {
-			fmt.Fprintf(os.Stderr, "peak-serve: job %s interrupted (%s)\n", r.ID, r.Spec)
+			fmt.Fprintf(os.Stderr, "peak-serve: job %s %s (%s)\n", r.ID, r.State, r.Spec)
 			fmt.Fprintf(os.Stderr, "peak-serve:   resume with: curl -X POST <addr>/tune -d '%s'\n", string(r.Request))
 		}
 		if *journal != "" && len(interrupted) > 0 {

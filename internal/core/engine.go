@@ -55,6 +55,14 @@ type Tuner struct {
 	// serve layer wires its drain signal here.
 	Interrupt func() bool
 
+	// OnRound, when non-nil, is called on the reduction goroutine after
+	// each completed Iterative Elimination round (after its checkpoint, if
+	// any) with the 1-based round number. It is a liveness signal, not a
+	// result channel: the serve layer's watchdog uses it to detect tunes
+	// that stop making round progress. The hook must not block and must
+	// not touch tuning state.
+	OnRound func(round int)
+
 	// Pool shards Iterative Elimination's independent candidate ratings
 	// across workers. Nil (or a sched.Serial pool) rates them one after
 	// another on the calling goroutine. The result is bit-identical at any
@@ -1055,6 +1063,9 @@ func (e *engine) iterativeElimination() error {
 		}
 		if err := e.checkpoint(round, current, candidates, stopped); err != nil {
 			return err
+		}
+		if e.t.OnRound != nil {
+			e.t.OnRound(round + 1)
 		}
 	}
 	e.res.Best = current

@@ -1,0 +1,67 @@
+package experiments
+
+import "peak/internal/fault"
+
+// This file names the fault-injection regimes a tuning request can ask for
+// by label (serve Request.Faults, mirroring the noise regimes). A regime's
+// plan is part of the job's identity — faults deterministically change the
+// tune's result — so two requests naming different regimes are different
+// jobs and never share checkpoint state or cached compilations (the engine
+// salts its cache key with the plan fingerprint).
+
+// FaultRegime pairs a stable label with a fault-injection plan.
+type FaultRegime struct {
+	Name string
+	Plan *fault.Plan
+}
+
+// faultRegimeSeed fixes every named regime's fault streams: a regime label
+// must mean the same injected faults everywhere, or the per-job
+// determinism contract breaks across servers.
+const faultRegimeSeed = 2023
+
+// FaultRegimes returns the named fault regimes in report order: three
+// uniform rates matching cmd/peak's -faultrate scale, plus two extreme
+// regimes built for exercising the serve layer's failure handling.
+// "poison" makes compile failures certain and unretried — every tune under
+// it fails immediately and deterministically; the chaos harness uses
+// poison jobs to trip the circuit breaker on demand. "storm" miscompiles
+// half of all candidate compilations, so golden-output verification
+// quarantines several flags per tune — the deterministic trigger for the
+// breaker's quarantine-storm signal.
+func FaultRegimes() []FaultRegime {
+	return []FaultRegime{
+		{Name: "f2", Plan: fault.Uniform(0.02, faultRegimeSeed)},
+		{Name: "f5", Plan: fault.Uniform(0.05, faultRegimeSeed)},
+		{Name: "f10", Plan: fault.Uniform(0.10, faultRegimeSeed)},
+		{Name: "poison", Plan: &fault.Plan{
+			Seed:              faultRegimeSeed,
+			CompileFailRate:   1,
+			MaxCompileRetries: -1, // no retries: the first compile is fatal
+		}},
+		{Name: "storm", Plan: &fault.Plan{
+			Seed:           faultRegimeSeed,
+			MiscompileRate: 0.5,
+		}},
+	}
+}
+
+// FaultRegimeByName resolves a fault-regime label.
+func FaultRegimeByName(name string) (FaultRegime, bool) {
+	for _, r := range FaultRegimes() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return FaultRegime{}, false
+}
+
+// FaultRegimeNames lists the regime labels in report order.
+func FaultRegimeNames() []string {
+	regimes := FaultRegimes()
+	names := make([]string, len(regimes))
+	for i, r := range regimes {
+		names[i] = r.Name
+	}
+	return names
+}

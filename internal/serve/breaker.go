@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Circuit-breaker states. The breaker guards the job slots against failure
+// storms: consecutive job failures (or miscompile-quarantine storms) trip
+// it open, an open breaker sheds new non-duplicate work with 503 while
+// cached and duplicate-spec results keep serving, and after a cooldown it
+// half-opens to admit exactly one probe job whose outcome decides between
+// closing again and re-opening.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half_open"
+)
+
+// BreakerStats is the breaker block of GET /stats (and the degraded flag
+// behind /healthz).
+type BreakerStats struct {
+	// State is "closed", "open" or "half_open".
+	State string `json:"state"`
+	// ConsecutiveFailures counts the failures since the last success while
+	// closed; Threshold is the count that trips the breaker.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	Threshold           int `json:"threshold"`
+	// Opens counts trips over the server's lifetime.
+	Opens int64 `json:"opens"`
+	// CooldownSeconds is how long an open breaker waits before half-opening.
+	CooldownSeconds float64 `json:"cooldown_seconds"`
+	// RetryAfterSeconds is the remaining cooldown (0 unless open).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// LastFailure is the most recent failure message the breaker saw.
+	LastFailure string `json:"last_failure,omitempty"`
+	// Probe is the job ID of the in-flight half-open probe, if any.
+	Probe string `json:"probe,omitempty"`
+}
+
+// breaker is the serve layer's circuit breaker. A nil breaker (or one with
+// threshold <= 0) admits everything. All transitions happen under mu; time
+// is read through now so tests and the chaos harness can pin it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+	opens       int64
+	lastFailure string
+	probe       string
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// admit decides whether the new job jobID may enter the queue. While open
+// it refuses everything until the cooldown elapses, then half-opens and
+// admits jobID as the probe; while half-open it admits only the probe.
+// Duplicate-spec requests never reach admit — they are answered from the
+// job table before admission control.
+func (b *breaker) admit(jobID string) (ok bool, reason string) {
+	if b == nil {
+		return true, ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, "circuit breaker open (failure storm); cached results still served"
+		}
+		b.state = BreakerHalfOpen
+		b.probe = jobID
+		return true, ""
+	case BreakerHalfOpen:
+		if b.probe == "" {
+			b.probe = jobID
+			return true, ""
+		}
+		return false, "circuit breaker half-open; waiting on probe job " + b.probe
+	default:
+		return true, ""
+	}
+}
+
+// success records a job that completed healthily. The probe's success
+// closes a half-open breaker.
+func (b *breaker) success(jobID string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state == BreakerHalfOpen && b.probe == jobID {
+		b.state = BreakerClosed
+		b.probe = ""
+	}
+}
+
+// failure records a failed job (or a quarantine storm). The probe's
+// failure re-opens a half-open breaker; while closed, the threshold-th
+// consecutive failure trips it.
+func (b *breaker) failure(jobID, msg string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastFailure = msg
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probe == jobID {
+			b.probe = ""
+			b.trip()
+		}
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// abandon releases jobID's probe slot without a verdict (the probe was
+// interrupted, timed out, or never queued). The breaker stays half-open
+// and the next admitted job becomes the probe.
+func (b *breaker) abandon(jobID string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probe == jobID {
+		b.probe = ""
+	}
+}
+
+// trip opens the breaker (caller holds mu).
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.consecutive = 0
+}
+
+// retryAfterSeconds returns the remaining cooldown of an open breaker,
+// rounded up (0 when not open).
+func (b *breaker) retryAfterSeconds() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	left := b.cooldown - b.now().Sub(b.openedAt)
+	if left <= 0 {
+		return 0
+	}
+	return int(math.Ceil(left.Seconds()))
+}
+
+// degraded reports whether the breaker is shedding or probing (anything
+// but closed) — the /healthz "degraded" signal.
+func (b *breaker) degraded() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerClosed
+}
+
+// snapshot assembles the /stats block.
+func (b *breaker) snapshot() *BreakerStats {
+	if b == nil {
+		return nil
+	}
+	retry := b.retryAfterSeconds()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &BreakerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.consecutive,
+		Threshold:           b.threshold,
+		Opens:               b.opens,
+		CooldownSeconds:     b.cooldown.Seconds(),
+		RetryAfterSeconds:   retry,
+		LastFailure:         b.lastFailure,
+		Probe:               b.probe,
+	}
+}

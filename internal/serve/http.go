@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"peak/internal/fault"
 )
 
 // Stats is the GET /stats payload. Every figure is finite by
@@ -28,6 +31,17 @@ type Stats struct {
 	// JournalIDs is the number of checkpoint IDs holding resumable state
 	// (absent without a journal).
 	JournalIDs *int `json:"journal_ids,omitempty"`
+	// JournalRecovery summarizes what OpenJournal found on disk (absent
+	// without a journal): torn tails truncated, corrupt records dropped.
+	JournalRecovery *fault.RecoveryReport `json:"journal_recovery,omitempty"`
+	// Breaker is the circuit breaker's state (absent when disabled).
+	Breaker *BreakerStats `json:"breaker,omitempty"`
+	// WatchdogStalls counts jobs the watchdog canceled for making no round
+	// progress.
+	WatchdogStalls int64 `json:"watchdog_stalls"`
+	// RetryAfterSeconds is the current 429 hint: the estimated wait behind
+	// the queued work, from the recent mean job duration.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
 }
 
 // PoolStats mirrors sched.Stats for the shared pool.
@@ -88,7 +102,12 @@ func (s *Server) Stats() Stats {
 	if s.journal != nil {
 		n := s.journal.Len()
 		st.JournalIDs = &n
+		rr := s.journal.Recovery()
+		st.JournalRecovery = &rr
 	}
+	st.Breaker = s.breaker.snapshot()
+	st.WatchdogStalls = s.watchdogStalls.Load()
+	st.RetryAfterSeconds = s.RetryAfterSeconds()
 	return st
 }
 
@@ -138,10 +157,17 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 	res, code, err := s.Submit(req)
 	if err != nil {
-		if code == http.StatusTooManyRequests {
-			// The queue is full of multi-second tuning jobs; "a little
-			// later" is seconds, not milliseconds.
-			w.Header().Set("Retry-After", "1")
+		switch code {
+		case http.StatusTooManyRequests:
+			// The queue is full of multi-second tuning jobs: tell the
+			// client how long the queued work ahead of it should take.
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+		case http.StatusServiceUnavailable:
+			// An open breaker knows its remaining cooldown; a draining
+			// server is going away and sets no hint.
+			if secs := s.breaker.retryAfterSeconds(); secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 		}
 		writeError(w, code, err)
 		return
@@ -191,7 +217,15 @@ func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.draining.Load()})
+	// Degraded (breaker shedding or probing) is still 200: the server is
+	// alive and serving cached results; load balancers that should stop
+	// routing fresh work read the status field.
+	body := map[string]any{"status": "ok", "draining": s.draining.Load()}
+	if s.breaker.degraded() {
+		body["status"] = "degraded"
+		body["breaker"] = s.breaker.snapshot().State
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

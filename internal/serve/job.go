@@ -8,10 +8,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"peak/internal/bench"
 	"peak/internal/core"
 	"peak/internal/experiments"
+	"peak/internal/fault"
 	"peak/internal/machine"
 	"peak/internal/noise"
 	"peak/internal/opt"
@@ -36,12 +39,23 @@ type Request struct {
 	// Noise names a stress regime (baseline, gauss4x, spikes, drift,
 	// bursts); empty keeps the machine default.
 	Noise string `json:"noise,omitempty"`
+	// Faults names a fault-injection regime (f2, f5, f10, poison); empty
+	// tunes fault-free. Injected faults deterministically change the
+	// tune's result, so the regime is part of the job's identity.
+	Faults string `json:"faults,omitempty"`
 	// Flags restricts the Iterative Elimination search to this subset of
 	// the tunable flag names (with or without the "-f" prefix); empty
 	// searches all 38. Order and duplicates are irrelevant: the set is
 	// canonicalized to ascending flag order, which is part of the job's
 	// identity.
 	Flags []string `json:"flags,omitempty"`
+	// DeadlineMS is a per-job wall-clock deadline in milliseconds (0 uses
+	// the server's -deadline default; negative is invalid). A job that
+	// overruns it stops at the next round boundary as "timed_out" with its
+	// completed rounds checkpointed. The deadline is an operational knob,
+	// NOT part of the job's identity: resubmitting the same spec with any
+	// deadline resumes the same job.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // spec is a validated, canonicalized request: everything runJob needs,
@@ -54,11 +68,15 @@ type spec struct {
 	force   *core.Method // nil = consultant choice
 	dataset *bench.Dataset
 	noise   *noise.Model // nil = machine default
+	faults  *fault.Plan  // nil = fault-free
 	// candidates is the canonical flag subset (ascending, deduped); nil
 	// searches all flags.
 	candidates []opt.Flag
+	// deadline is the job's wall-clock budget (0 = server default; it is
+	// operational state, never part of the canonical identity).
+	deadline time.Duration
 
-	// canonical is "bench/machine/method/dataset/noise/flags" — the
+	// canonical is "bench/machine/method/dataset/noise/faults/flags" — the
 	// checkpoint ID is "serve/" + canonical, and the job ID is a hash of
 	// it. request is the re-marshaled canonical Request, stored so drain
 	// can print an exact resubmission command.
@@ -116,6 +134,22 @@ func parseSpec(req Request) (spec, error) {
 		noiseName = regime.Name
 	}
 
+	faultsName := "none"
+	if req.Faults != "" {
+		regime, ok := experiments.FaultRegimeByName(req.Faults)
+		if !ok {
+			return sp, fmt.Errorf("unknown fault regime %q (want one of %s)",
+				req.Faults, strings.Join(experiments.FaultRegimeNames(), ", "))
+		}
+		sp.faults = regime.Plan
+		faultsName = regime.Name
+	}
+
+	if req.DeadlineMS < 0 {
+		return sp, fmt.Errorf("negative deadline_ms %d", req.DeadlineMS)
+	}
+	sp.deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+
 	flagsName := "all"
 	if len(req.Flags) > 0 {
 		seen := map[opt.Flag]bool{}
@@ -140,9 +174,12 @@ func parseSpec(req Request) (spec, error) {
 		flagsName = strings.Join(names, ",")
 	}
 
-	sp.canonical = fmt.Sprintf("%s/%s/%s/%s/%s/%s",
-		b.Name, m.Name, methodName, sp.dataset.Name, noiseName, flagsName)
+	sp.canonical = fmt.Sprintf("%s/%s/%s/%s/%s/%s/%s",
+		b.Name, m.Name, methodName, sp.dataset.Name, noiseName, faultsName, flagsName)
 	canonReq := Request{Bench: b.Name, Machine: m.Name, Dataset: sp.dataset.Name, Noise: req.Noise}
+	if sp.faults != nil {
+		canonReq.Faults = faultsName
+	}
 	if sp.force != nil {
 		canonReq.Method = sp.force.String()
 	}
@@ -170,12 +207,16 @@ func (sp *spec) id() string {
 func (sp *spec) checkpointID() string { return "serve/" + sp.canonical }
 
 // Job states. A job moves queued → running → one terminal state.
+// "interrupted" (drain) and "timed_out" (deadline or watchdog) are
+// resumable terminals: resubmitting the same spec re-queues the job, which
+// continues from its last checkpointed round when a journal is attached.
 const (
 	StateQueued      = "queued"
 	StateRunning     = "running"
 	StateDone        = "done"
 	StateFailed      = "failed"
 	StateInterrupted = "interrupted"
+	StateTimedOut    = "timed_out"
 )
 
 // Result is the externally visible snapshot of a job, returned by POST
@@ -206,6 +247,13 @@ type job struct {
 	id   string
 	spec spec
 
+	// progress is the wall-clock nanosecond stamp of the job's last
+	// liveness signal (run start, every Interrupt poll, every completed
+	// round). The watchdog reads it to detect tunes that stop making
+	// round progress. Atomic: the tune goroutine writes it, the watchdog
+	// goroutine reads it.
+	progress atomic.Int64
+
 	mu      sync.Mutex
 	state   string
 	res     *core.TuneResult
@@ -215,6 +263,10 @@ type job struct {
 	// starting at 1 — isolated from every other job's).
 	traceData []byte
 	errMsg    string
+	// cancelMsg, once set, makes the job's Interrupt hook fire at the next
+	// round boundary and names why ("deadline ... exceeded", "watchdog:
+	// ..."); the job then terminates as timed_out.
+	cancelMsg string
 }
 
 func newJob(sp spec) *job {
@@ -225,6 +277,26 @@ func (j *job) setState(s string) {
 	j.mu.Lock()
 	j.state = s
 	j.mu.Unlock()
+}
+
+// noteProgress stamps the job's liveness clock.
+func (j *job) noteProgress() { j.progress.Store(time.Now().UnixNano()) }
+
+// cancelWith requests cancellation at the next round boundary; the first
+// reason wins.
+func (j *job) cancelWith(msg string) {
+	j.mu.Lock()
+	if j.cancelMsg == "" {
+		j.cancelMsg = msg
+	}
+	j.mu.Unlock()
+}
+
+// canceled returns the pending cancellation reason ("" when none).
+func (j *job) canceled() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelMsg
 }
 
 // snapshot returns the job's Result under its lock.
@@ -243,16 +315,20 @@ func (j *job) snapshot() Result {
 	}
 }
 
+// terminalState reports whether s is a terminal job state.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateInterrupted || s == StateTimedOut
+}
+
 // terminal reports whether the job has finished (in any way).
 func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state == StateDone || j.state == StateFailed || j.state == StateInterrupted
+	return terminalState(j.state)
 }
 
 func (j *job) trace() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	done := j.state == StateDone || j.state == StateFailed || j.state == StateInterrupted
-	return j.traceData, done
+	return j.traceData, terminalState(j.state)
 }

@@ -31,8 +31,10 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"peak/internal/cli"
 	"peak/internal/core"
@@ -65,6 +67,31 @@ type Options struct {
 	// drain messages ("" for an in-memory journal).
 	Journal     *fault.Journal
 	JournalPath string
+
+	// Deadline is the default per-job wall-clock budget (0 = none); a
+	// request's deadline_ms overrides it. An overrunning job is canceled
+	// at its next round boundary through the engine's Interrupt hook and
+	// reported timed_out with its completed rounds checkpointed —
+	// resubmission resumes it.
+	Deadline time.Duration
+
+	// WatchdogStall, when > 0, arms the watchdog: a running job that makes
+	// no round progress for this long is canceled like a deadline overrun
+	// (state timed_out, reason "watchdog: ..."). WatchdogPoll is the scan
+	// interval (0 = WatchdogStall/4, floored at 10ms).
+	WatchdogStall time.Duration
+	WatchdogPoll  time.Duration
+
+	// BreakerFailures, when > 0, arms the circuit breaker: that many
+	// consecutive job failures trip it open, shedding new non-duplicate
+	// work with 503 (duplicate-spec results keep serving) until
+	// BreakerCooldown (0 = 30s) elapses and a probe job half-opens it.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// QuarantineStorm, when > 0, makes a job that completes with at least
+	// this many quarantined flags (miscompile storm from the fault layer)
+	// count as a breaker failure even though the job itself is done.
+	QuarantineStorm int
 }
 
 // Server is the tuning service. Create with New, attach Handler to an
@@ -80,13 +107,31 @@ type Server struct {
 	drainCh  chan struct{}
 	wg       sync.WaitGroup
 
+	// breaker is the failure-storm circuit breaker (nil = disabled);
+	// watchdogStalls counts jobs the watchdog canceled.
+	breaker        *breaker
+	watchdogStalls atomic.Int64
+
 	mu   sync.Mutex
 	jobs map[string]*job // job ID -> job
 
+	// durMu guards durations, a ring of the last recentDurations job wall
+	// times (seconds) feeding the Retry-After estimate.
+	durMu     sync.Mutex
+	durations []float64
+	durNext   int
+
 	// gate, when non-nil, is received from before each job runs — test
 	// instrumentation for pinning admission-control and drain timing.
-	gate chan struct{}
+	// roundGate, when non-nil, is received from at every Interrupt poll —
+	// test instrumentation for freezing tunes at round boundaries.
+	gate      chan struct{}
+	roundGate chan struct{}
 }
+
+// recentDurations is the Retry-After estimator's window: the mean of the
+// last 32 completed jobs' wall times.
+const recentDurations = 32
 
 // New builds a Server from opts. Call Start before serving requests.
 func New(opts Options) *Server {
@@ -103,6 +148,7 @@ func New(opts Options) *Server {
 		queue:   make(chan *job, opts.Queue),
 		drainCh: make(chan struct{}),
 		jobs:    make(map[string]*job),
+		breaker: newBreaker(opts.BreakerFailures, opts.BreakerCooldown),
 	}
 	if !opts.NoSharedCache {
 		s.cache = vcache.New()
@@ -110,11 +156,59 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Start launches the job slots. It returns immediately.
+// Start launches the job slots (and the watchdog when armed). It returns
+// immediately.
 func (s *Server) Start() {
 	for i := 0; i < s.opts.Jobs; i++ {
 		s.wg.Add(1)
 		go s.slot()
+	}
+	if s.opts.WatchdogStall > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+}
+
+// watchdog periodically scans the running jobs and cancels any whose last
+// round-progress stamp is older than WatchdogStall. The cancel fires
+// through the same Interrupt path as a deadline, so the stalled job exits
+// as timed_out at its next round boundary with its completed rounds
+// checkpointed. A tune stuck *inside* a round can only be abandoned at
+// that boundary; until then the stall is still visible in /stats.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	poll := s.opts.WatchdogPoll
+	if poll <= 0 {
+		poll = s.opts.WatchdogStall / 4
+	}
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-s.opts.WatchdogStall).UnixNano()
+		s.mu.Lock()
+		running := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.state == StateRunning {
+				running = append(running, j)
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		for _, j := range running {
+			if last := j.progress.Load(); last > 0 && last < cutoff && j.canceled() == "" {
+				j.cancelWith(fmt.Sprintf("watchdog: no round progress for %s", s.opts.WatchdogStall))
+				s.watchdogStalls.Add(1)
+			}
+		}
 	}
 }
 
@@ -158,8 +252,10 @@ func (s *Server) dispatch(j *job) {
 
 // Submit validates, canonicalizes and enqueues a request. The returned
 // code is the HTTP status the job's admission maps to: 202 accepted, 200
-// already known (idempotent resubmission — also how an interrupted job is
-// resumed after a restart), 400 invalid, 429 queue full, 503 draining.
+// already known (idempotent resubmission — also how an interrupted or
+// timed-out job is resumed), 400 invalid, 429 queue full, 503 draining or
+// circuit breaker open. Known specs are answered before admission control,
+// so an open breaker keeps serving finished results.
 func (s *Server) Submit(req Request) (Result, int, error) {
 	sp, err := parseSpec(req)
 	if err != nil {
@@ -172,13 +268,20 @@ func (s *Server) Submit(req Request) (Result, int, error) {
 	s.mu.Lock()
 	if existing, ok := s.jobs[j.id]; ok {
 		// Same canonical spec: the job already exists (possibly finished).
-		// An interrupted job is re-queued so a restarted server resumes it
+		// An interrupted or timed-out job is re-queued so the tune resumes
 		// from the journal; any other state is simply reported.
 		requeue := false
+		wasTimeout := false
 		existing.mu.Lock()
-		if existing.state == StateInterrupted {
+		if existing.state == StateInterrupted || existing.state == StateTimedOut {
+			wasTimeout = existing.state == StateTimedOut
 			existing.state = StateQueued
 			existing.errMsg = ""
+			existing.cancelMsg = ""
+			// The deadline is operational, not identity: the resume runs
+			// under the new request's deadline (0 = the server default),
+			// not the one that may just have expired.
+			existing.spec.deadline = sp.deadline
 			requeue = true
 		}
 		existing.mu.Unlock()
@@ -188,13 +291,24 @@ func (s *Server) Submit(req Request) (Result, int, error) {
 			case s.queue <- existing:
 			default:
 				existing.mu.Lock()
-				existing.state = StateInterrupted
+				if wasTimeout {
+					existing.state = StateTimedOut
+				} else {
+					existing.state = StateInterrupted
+				}
 				existing.errMsg = "job queue full before resume could start; resubmit to resume"
 				existing.mu.Unlock()
 				return existing.snapshot(), 429, errors.New("job queue is full")
 			}
 		}
 		return existing.snapshot(), 200, nil
+	}
+	// New work passes the circuit breaker (while the breaker is open or
+	// probing, fresh specs are shed; everything above — duplicates,
+	// resumes, finished results — is served normally).
+	if ok, reason := s.breaker.admit(j.id); !ok {
+		s.mu.Unlock()
+		return Result{}, 503, errors.New(reason)
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -206,6 +320,9 @@ func (s *Server) Submit(req Request) (Result, int, error) {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		// If this job had just been admitted as the half-open probe, free
+		// the probe slot — it never ran.
+		s.breaker.abandon(j.id)
 		return Result{}, 429, errors.New("job queue is full")
 	}
 }
@@ -277,20 +394,81 @@ func (s *Server) Drain() []Result {
 	}
 	var interrupted []Result
 	for _, r := range s.Jobs() {
-		if r.State == StateInterrupted || r.State == StateQueued {
+		if r.State == StateInterrupted || r.State == StateQueued || r.State == StateTimedOut {
 			interrupted = append(interrupted, r)
 		}
 	}
 	return interrupted
 }
 
+// noteJobDuration records one job's wall time in the Retry-After ring.
+func (s *Server) noteJobDuration(d time.Duration) {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	if len(s.durations) < recentDurations {
+		s.durations = append(s.durations, d.Seconds())
+		return
+	}
+	s.durations[s.durNext] = d.Seconds()
+	s.durNext = (s.durNext + 1) % recentDurations
+}
+
+// meanJobSeconds is the mean of the recorded ring (1s before any job has
+// finished — tuning jobs are seconds-scale, never milliseconds).
+func (s *Server) meanJobSeconds() float64 {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	if len(s.durations) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, v := range s.durations {
+		sum += v
+	}
+	return sum / float64(len(s.durations))
+}
+
+// RetryAfterSeconds derives the 429 Retry-After hint from the work a
+// refused client would wait behind: (queue depth + 1) slots of the recent
+// mean job duration, divided across the job slots, rounded up and clamped
+// to [1, 60]. The estimate is a pure function of those inputs, so it is
+// unit-testable without a clock.
+func (s *Server) RetryAfterSeconds() int {
+	return retryAfterSeconds(len(s.queue), s.meanJobSeconds(), s.opts.Jobs)
+}
+
+// retryAfterSeconds is the deterministic core of RetryAfterSeconds.
+func retryAfterSeconds(queueDepth int, meanSeconds float64, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	secs := float64(queueDepth+1) * meanSeconds / float64(slots)
+	n := int(secs)
+	if float64(n) < secs {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
 // runJob executes one job, mirroring cmd/peak exactly so the report is
 // byte-for-byte the CLI's output for the same arguments: profile, tune
 // (consultant path on train; forced method on the requested dataset),
-// then measure -O3 and the winner on the ref dataset.
+// then measure -O3 and the winner on the ref dataset. Around that core it
+// runs the resilience bookkeeping: deadline/watchdog cancellation through
+// the engine's Interrupt hook, liveness stamps for the watchdog, the
+// Retry-After duration sample, and the circuit breaker's verdict.
 func (s *Server) runJob(j *job) {
+	j.noteProgress()
 	j.setState(StateRunning)
 	sp := j.spec
+	start := time.Now()
+	defer func() { s.noteJobDuration(time.Since(start)) }()
 
 	// Per-job observability: a private buffer, metrics registry and — at
 	// the end — tracer, so the job's trace is byte-identical however many
@@ -300,20 +478,58 @@ func (s *Server) runJob(j *job) {
 
 	fail := func(err error) {
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		if errors.Is(err, core.ErrInterrupted) {
-			j.state = StateInterrupted
-			j.errMsg = "interrupted by drain; completed rounds are checkpointed — resubmit to resume"
-		} else {
-			j.state = StateFailed
-			j.errMsg = err.Error()
+			if j.cancelMsg != "" {
+				j.state = StateTimedOut
+				j.errMsg = j.cancelMsg + "; completed rounds are checkpointed — resubmit to resume"
+			} else {
+				j.state = StateInterrupted
+				j.errMsg = "interrupted by drain; completed rounds are checkpointed — resubmit to resume"
+			}
+			j.mu.Unlock()
+			// A canceled probe renders no verdict on the breaker.
+			s.breaker.abandon(j.id)
+			return
 		}
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		s.breaker.failure(j.id, fmt.Sprintf("job %s (%s): %v", j.id, sp.canonical, err))
+	}
+
+	// The effective deadline: per-request, else the server default. The
+	// Interrupt hook fires at round boundaries when the deadline passes, a
+	// watchdog/deadline cancel is pending, or the server drains — and
+	// every poll is a liveness stamp for the watchdog.
+	var deadline time.Time
+	if d := sp.deadline; d > 0 {
+		deadline = start.Add(d)
+	} else if s.opts.Deadline > 0 {
+		deadline = start.Add(s.opts.Deadline)
+	}
+	interrupt := func() bool {
+		j.noteProgress()
+		if s.roundGate != nil {
+			<-s.roundGate
+		}
+		if s.draining.Load() {
+			return true
+		}
+		if j.canceled() != "" {
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			j.cancelWith(fmt.Sprintf("deadline %s exceeded", deadlineOf(sp.deadline, s.opts.Deadline)))
+			return true
+		}
+		return false
 	}
 
 	cfg := core.DefaultConfig()
 	if sp.noise != nil {
 		cfg.Noise = sp.noise
 	}
+	cfg.Faults = sp.faults
 	// The consultant path profiles and tunes on train (cmd/peak without
 	// -method); a forced method profiles and tunes on the requested
 	// dataset (cmd/peak -method).
@@ -334,7 +550,8 @@ func (s *Server) runJob(j *job) {
 		Profile:      prof,
 		Force:        sp.force,
 		Candidates:   sp.candidates,
-		Interrupt:    s.draining.Load,
+		Interrupt:    interrupt,
+		OnRound:      func(int) { j.noteProgress() },
 		Pool:         s.pool,
 		Cache:        s.cache,
 		Journal:      s.journal,
@@ -369,8 +586,26 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.state = StateDone
 	j.res = res
-	j.report = cli.FormatTuneReport(sp.bench, sp.mach, res, false, base, tuned)
+	j.report = cli.FormatTuneReport(sp.bench, sp.mach, res, sp.faults != nil, base, tuned)
 	j.metrics = mx.Format()
 	j.traceData = tb.Bytes()
 	j.mu.Unlock()
+
+	// A done job is a breaker success — unless it quarantined so many
+	// miscompiled candidates that the toolchain itself looks sick.
+	if storm := s.opts.QuarantineStorm; storm > 0 && len(res.Quarantined) >= storm {
+		s.breaker.failure(j.id, fmt.Sprintf("job %s (%s): quarantine storm: %d miscompiled candidates",
+			j.id, sp.canonical, len(res.Quarantined)))
+	} else {
+		s.breaker.success(j.id)
+	}
+}
+
+// deadlineOf names the deadline that applied (the request's, else the
+// server default) for the timed_out message.
+func deadlineOf(req, def time.Duration) time.Duration {
+	if req > 0 {
+		return req
+	}
+	return def
 }
