@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"peak/internal/bench"
 	"peak/internal/cli"
 	"peak/internal/core"
 	"peak/internal/experiments"
@@ -36,7 +37,11 @@ import (
 	"peak/internal/irbuild"
 	"peak/internal/machine"
 	"peak/internal/opt"
+	"peak/internal/profiling"
+	"peak/internal/sched"
+	"peak/internal/serve"
 	"peak/internal/sim"
+	"peak/internal/store"
 	"peak/internal/trace"
 	"peak/internal/vcache"
 	"peak/internal/workloads"
@@ -76,6 +81,36 @@ type report struct {
 	Table1WallNs         int64   `json:"table1_wall_ns,omitempty"`
 	Table1BaselineWallNs int64   `json:"table1_baseline_wall_ns,omitempty"`
 	Table1Speedup        float64 `json:"table1_speedup,omitempty"`
+
+	// WarmStart holds the persistent-store warm-start measurements (-warmstart).
+	WarmStart *warmStartReport `json:"warm_start,omitempty"`
+}
+
+// warmStartReport is the -warmstart section: the same full tune run cold
+// (empty store) and memo-warm (reopened after a flush, every rating
+// answered from the memo table), plus a disk-warm peak-serve restart
+// answering a duplicate spec from a restored job artifact.
+type warmStartReport struct {
+	// ColdTuneNs and MemoWarmTuneNs are one full consultant-path tune's
+	// wall time against an empty store and against the reopened flushed
+	// store; MemoSpeedup is their ratio (the warm tune simulates nothing —
+	// MemoHits ratings answered from disk, MemoMisses must be 0).
+	ColdTuneNs     int64   `json:"cold_tune_ns"`
+	MemoWarmTuneNs int64   `json:"memo_warm_tune_ns"`
+	MemoSpeedup    float64 `json:"memo_speedup"`
+	MemoHits       int64   `json:"memo_hits"`
+	MemoMisses     int64   `json:"memo_misses"`
+
+	// ServeColdJobNs is the wall time of one peak-serve job run cold with a
+	// store attached; ServeRestartNs the time for a rebooted server (same
+	// store directory) to boot, restore the finished job and answer the
+	// duplicate spec. ServeSimCycles is the warm server's simulated-cycle
+	// ledger while doing so — zero means the answer came entirely from the
+	// restored artifact.
+	ServeColdJobNs    int64 `json:"serve_cold_job_ns"`
+	ServeRestartNs    int64 `json:"serve_restart_ns"`
+	ServeRestoredJobs int64 `json:"serve_restored_jobs"`
+	ServeSimCycles    int64 `json:"serve_sim_cycles"`
 }
 
 // microReport is one per-opcode-class engine microbenchmark: the fused and
@@ -100,6 +135,7 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print the measured numbers as a metrics table to stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the timed sections to this file")
 		micro      = flag.Bool("micro", false, "also run the per-opcode-class engine microbenchmarks")
+		warmstart  = flag.Bool("warmstart", false, "also measure warm-start tuning: cold vs memo-warm tune, disk-warm serve restart")
 	)
 	flag.Parse()
 
@@ -219,6 +255,10 @@ func main() {
 
 	if *micro {
 		r.Micro = microBenchmarks(m, *minSeconds, phase)
+	}
+
+	if *warmstart {
+		r.WarmStart = warmStartBench(b, m, phase)
 	}
 
 	if *runTable1 {
@@ -432,6 +472,124 @@ func microBenchmarks(m *machine.Machine, minSeconds float64, phase func(string, 
 		phase("micro_"+class, fused.ns+ref.ns, fused.ops+ref.ops)
 	}
 	return out
+}
+
+// warmStartBench measures the persistent store's payoff. Tune leg: one
+// full consultant-path tune of b on m against an empty store, flushed,
+// then the identical tune against the reopened store — the warm run
+// answers every rating from the memo table. Serve leg (separate store
+// directory): one peak-serve job run cold with a store, drained, then a
+// fresh server booted from the flushed store answering the duplicate spec
+// from the restored artifact without simulating.
+func warmStartBench(b *bench.Benchmark, m *machine.Machine, phase func(string, int64, int64)) *warmStartReport {
+	ws := &warmStartReport{}
+
+	tuneDir, err := os.MkdirTemp("", "peak-bench-store-*")
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	defer os.RemoveAll(tuneDir)
+	prof, err := profiling.Run(b, b.Train, m)
+	if err != nil {
+		fatalf("warmstart: profile: %v", err)
+	}
+	tune := func(st *store.Store, cache *vcache.Cache) *core.TuneResult {
+		t := &core.Tuner{Bench: b, Mach: m, Dataset: b.Train, Cfg: core.DefaultConfig(), Profile: prof,
+			Pool: sched.New(0), Cache: cache, Store: st}
+		res, err := t.Tune()
+		if err != nil {
+			fatalf("warmstart: tune: %v", err)
+		}
+		return res
+	}
+
+	cold, err := store.Open(tuneDir)
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	coldCache := vcache.New()
+	cold.AttachCache(coldCache)
+	t0 := time.Now()
+	coldRes := tune(cold, coldCache)
+	ws.ColdTuneNs = time.Since(t0).Nanoseconds()
+	phase("warmstart_cold_tune", ws.ColdTuneNs, 1)
+	if err := cold.Flush(); err != nil {
+		fatalf("warmstart: flush: %v", err)
+	}
+
+	warm, err := store.Open(tuneDir)
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	warmCache := vcache.New()
+	warm.AttachCache(warmCache)
+	t0 = time.Now()
+	warmRes := tune(warm, warmCache)
+	ws.MemoWarmTuneNs = time.Since(t0).Nanoseconds()
+	phase("warmstart_memo_tune", ws.MemoWarmTuneNs, 1)
+	if warmRes.Best != coldRes.Best {
+		fatalf("warmstart: warm tune diverged: %s vs %s", warmRes.Best, coldRes.Best)
+	}
+	st := warm.Stats()
+	ws.MemoHits, ws.MemoMisses = st.MemoHits, st.MemoMisses
+	if ws.MemoWarmTuneNs > 0 {
+		ws.MemoSpeedup = float64(ws.ColdTuneNs) / float64(ws.MemoWarmTuneNs)
+	}
+
+	serveDir, err := os.MkdirTemp("", "peak-bench-serve-*")
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	defer os.RemoveAll(serveDir)
+	req := serve.Request{Bench: b.Name, Machine: m.Name}
+	coldStore, err := store.Open(serveDir)
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	s1 := serve.New(serve.Options{Workers: 0, Jobs: 1, Store: coldStore})
+	s1.Start()
+	t0 = time.Now()
+	res, code, err := s1.Submit(req)
+	if err != nil || code != 202 {
+		fatalf("warmstart: serve submit: code %d, %v", code, err)
+	}
+	for {
+		snap, ok := s1.Job(res.ID)
+		if !ok {
+			fatalf("warmstart: serve job vanished")
+		}
+		if snap.State == serve.StateDone {
+			break
+		}
+		if snap.State == serve.StateFailed {
+			fatalf("warmstart: serve job failed: %s", snap.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ws.ServeColdJobNs = time.Since(t0).Nanoseconds()
+	phase("warmstart_serve_cold", ws.ServeColdJobNs, 1)
+	s1.Drain()
+
+	t0 = time.Now()
+	warmStore, err := store.Open(serveDir)
+	if err != nil {
+		fatalf("warmstart: %v", err)
+	}
+	s2 := serve.New(serve.Options{Workers: 0, Jobs: 1, Store: warmStore})
+	s2.Start()
+	snap, code, err := s2.Submit(req)
+	if err != nil || code != 200 || snap.State != serve.StateDone {
+		fatalf("warmstart: serve restart did not restore the job: code %d, state %s, %v", code, snap.State, err)
+	}
+	ws.ServeRestartNs = time.Since(t0).Nanoseconds()
+	phase("warmstart_serve_restart", ws.ServeRestartNs, 1)
+	stats := s2.Stats()
+	if stats.Store != nil {
+		ws.ServeRestoredJobs = stats.Store.RestoredJobs
+	}
+	ws.ServeSimCycles = stats.Pool.Cycles
+	s2.Drain()
+	return ws
 }
 
 func fatalf(format string, args ...any) {

@@ -42,6 +42,7 @@ import (
 	"peak/internal/cli"
 	"peak/internal/experiments"
 	"peak/internal/sched"
+	"peak/internal/store"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 	resume := flag.String("resume", "", "resume from an existing checkpoint journal (pass the same other flags)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (analyze with peak-trace)")
 	metrics := flag.Bool("metrics", false, "print the metrics table to stderr after the run")
+	cacheDir := flag.String("cache-dir", "", "persistent warm-start store for -noise: grid cells memoize across runs (output identical either way)")
 	flag.Parse()
 
 	var machines []*peak.Machine
@@ -142,8 +144,18 @@ func main() {
 	cfg.NoCompileCache = *noCache
 
 	if *noiseRep {
+		// The warm-start store memoizes grid cells across runs; the report
+		// bytes are identical with the store absent, cold or warm.
+		var st *store.Store
+		if *cacheDir != "" {
+			var err error
+			if st, err = store.Open(*cacheDir); err != nil {
+				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
+				finish(1)
+			}
+		}
 		for i, m := range machines {
-			report, err := peak.NoiseReportTraced(m, &cfg, pool, obs.Buf, obs.Mx)
+			report, err := experiments.NoiseReportStored(m, &cfg, pool, obs.Buf, obs.Mx, st)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "peak-experiments: %v\n", err)
 				finish(1)
@@ -152,6 +164,15 @@ func main() {
 				fmt.Println()
 			}
 			fmt.Print(report)
+		}
+		if st != nil {
+			if err := st.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "peak-experiments: store flush: %v\n", err)
+				finish(1)
+			}
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "peak-experiments: store: %d cell memo hit(s), %d new record(s) flushed\n",
+				ss.MemoHits, ss.Pending)
 		}
 		finish(0)
 	}

@@ -18,6 +18,7 @@ import (
 	"peak/internal/sched"
 	"peak/internal/sim"
 	"peak/internal/stats"
+	"peak/internal/store"
 	"peak/internal/trace"
 	"peak/internal/vcache"
 )
@@ -80,6 +81,18 @@ type Tuner struct {
 	// frozen before publication, and all per-execution state lives in
 	// per-job runners. Cfg.NoCompileCache disables caching entirely.
 	Cache *vcache.Cache
+
+	// Store, when set, memoizes finished rating jobs in the persistent
+	// warm-start store (internal/store): a job whose complete identity —
+	// code fingerprints, machine, dataset, derived seeds, rating config
+	// and noise model — matches a record loaded at store-open time
+	// restores the recorded outcome instead of simulating, byte-identical
+	// by the determinism contract. The store's read set is frozen at open,
+	// so memo answers are independent of worker count and scheduling.
+	// Ignored when fault injection is enabled: fault draws consume
+	// per-process stream state that no key can capture, so faulted
+	// ratings are never memoized.
+	Store *store.Store
 
 	// Journal, when set, turns on checkpointing: the engine appends its
 	// state to the journal after every completed Iterative Elimination
@@ -192,6 +205,10 @@ type engine struct {
 	cache   *vcache.Cache
 	progKey uint64
 	lookups int64
+
+	// store is the persistent memo store (Tuner.Store), nil when absent —
+	// and always nil when fault injection is on (see the Tuner.Store doc).
+	store *store.Store
 
 	mu    sync.Mutex
 	local map[opt.FlagSet]versionInfo
@@ -336,6 +353,9 @@ func (t *Tuner) newEngine() (*engine, error) {
 		// tune, a different plan, or the final deployment compile).
 		e.progKey ^= f.Fingerprint()
 	}
+	if t.Store != nil && e.faults == nil {
+		e.store = t.Store
+	}
 	e.journal = t.Journal
 	if e.journal != nil {
 		e.ckptID = t.CheckpointID
@@ -367,8 +387,14 @@ func (t *Tuner) newEngine() (*engine, error) {
 // events; they are pure functions of the compile identity, so they are
 // the same whichever call resolved the flag set first.
 type versionInfo struct {
-	v           *sim.Version
+	v *sim.Version
+	// fp is the 64-bit in-process fingerprint (dedup grouping, trace
+	// leader maps); fp128 the full content fingerprint memo keys embed,
+	// of which fp is the low half. fromDisk marks resolutions answered by
+	// a persistent-store preload rather than a compilation this process.
 	fp          uint64
+	fp128       vcache.FP128
+	fromDisk    bool
 	quarantined bool
 
 	retries      int
@@ -437,18 +463,19 @@ func (e *engine) resolveLocked(fs opt.FlagSet) (versionInfo, error) {
 	var key vcache.Key
 	if e.cache != nil {
 		key = vcache.Key{Prog: e.progKey, Fn: e.ts.Name, Flags: fs, Machine: e.t.Mach.Name}
-		v, fp, _, err := e.cache.GetOrCompile(key, compile)
+		r, err := e.cache.Resolve(key, compile)
 		if err != nil {
 			return versionInfo{}, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
 		}
-		vi = versionInfo{v: v, fp: fp}
+		vi = versionInfo{v: r.V, fp: r.FP.Lo, fp128: r.FP, fromDisk: r.FromDisk}
 	} else {
 		v, err := compile()
 		if err != nil {
 			return versionInfo{}, fmt.Errorf("tune %s: compile %s: %w", e.t.Bench.Name, fs, err)
 		}
 		v.Freeze()
-		vi = versionInfo{v: v, fp: vcache.Fingerprint(v)}
+		fp := vcache.Fingerprint128(v)
+		vi = versionInfo{v: v, fp: fp.Lo, fp128: fp}
 	}
 	vi.retries = retries
 	vi.retryCycles = retryCycles
@@ -608,7 +635,11 @@ type jobResult struct {
 	rating    Rating
 	converged bool
 	escalated bool
-	ctx       *ratingCtx
+	// memoized marks an outcome restored from the persistent store's memo
+	// table instead of simulated (trace tier "memo"). The restored fields
+	// are byte-identical to what the simulation would have produced.
+	memoized bool
+	ctx      *ratingCtx
 	// jobRetries counts injected worker panics this job survived before
 	// the attempt that produced the result.
 	jobRetries int
@@ -643,14 +674,39 @@ func (e *engine) rateJob(jobKey string, m Method, exp, base opt.FlagSet, escalat
 		return res
 	}
 	expV := expVI.v
+	var baseVI versionInfo
+	if m != MethodWHL {
+		baseVI, err = e.version(base)
+		if err != nil {
+			res.err = err
+			return res
+		}
+	}
+	// Memo hook: with a store attached, look the job's complete identity
+	// up in the frozen read set; a hit restores the recorded outcome —
+	// rating, convergence, escalation and the job's private cycle ledger —
+	// and skips the simulation below entirely. A miss runs the simulation
+	// and records the outcome for the store's next flush. Version
+	// resolution above already happened either way, so the tune's
+	// compile-cache ledger and dedup grouping are identical with and
+	// without memo hits. (WHL rates without a base; its key carries the
+	// zero fingerprint there.)
+	var memoK string
+	if e.store != nil {
+		memoK = e.rateMemoKey(jobKey, m, expVI.fp128, baseVI.fp128, escalatable)
+		if payload, ok := e.store.LookupMemo(MemoKindRate, memoK); ok && restoreRateMemo(&res, payload) {
+			res.memoized = true
+			return res
+		}
+		defer func() {
+			if res.err == nil && !res.memoized {
+				e.store.RecordMemo(MemoKindRate, memoK, encodeRateMemo(&res))
+			}
+		}()
+	}
 	if m == MethodWHL {
 		res.rating, res.err = e.rateWHL(c, expV)
 		res.converged = res.err == nil
-		return res
-	}
-	baseVI, err := e.version(base)
-	if err != nil {
-		res.err = err
 		return res
 	}
 	baseV := baseVI.v

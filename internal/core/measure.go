@@ -28,17 +28,40 @@ func MeasurePerformance(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machin
 // than once. A nil cache compiles directly.
 func MeasurePerformanceCached(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
 	flags opt.FlagSet, cache *vcache.Cache) (tsCycles, programCycles int64, err error) {
-	var v *sim.Version
-	if cache != nil {
-		v, _, _, err = cache.GetOrCompile(
-			vcache.Key{Prog: vcache.ProgramKey(b.Prog), Fn: b.TS.Name, Flags: flags, Machine: m.Name},
-			func() (*sim.Version, error) { return opt.Compile(b.Prog, b.TS, flags, m) })
-	} else {
-		v, err = opt.Compile(b.Prog, b.TS, flags, m)
-	}
+	v, _, err := resolveMeasureVersion(b, m, flags, cache)
 	if err != nil {
 		return 0, 0, fmt.Errorf("measure %s: %w", b.Name, err)
 	}
+	return runMeasurement(b, ds, m, flags, v)
+}
+
+// resolveMeasureVersion compiles the deployment version of the TS under
+// flags, through the cache when one is given, and returns it with its full
+// content fingerprint (the persistent store's measurement memo key).
+func resolveMeasureVersion(b *bench.Benchmark, m *machine.Machine, flags opt.FlagSet,
+	cache *vcache.Cache) (*sim.Version, vcache.FP128, error) {
+	if cache != nil {
+		r, err := cache.Resolve(
+			vcache.Key{Prog: vcache.ProgramKey(b.Prog), Fn: b.TS.Name, Flags: flags, Machine: m.Name},
+			func() (*sim.Version, error) { return opt.Compile(b.Prog, b.TS, flags, m) })
+		if err != nil {
+			return nil, vcache.FP128{}, err
+		}
+		return r.V, r.FP, nil
+	}
+	v, err := opt.Compile(b.Prog, b.TS, flags, m)
+	if err != nil {
+		return nil, vcache.FP128{}, err
+	}
+	v.Freeze()
+	return v, vcache.Fingerprint128(v), nil
+}
+
+// runMeasurement executes the resolved version over the dataset and sums
+// the deterministic TS cycles (the simulation half of
+// MeasurePerformanceCached).
+func runMeasurement(b *bench.Benchmark, ds *bench.Dataset, m *machine.Machine,
+	flags opt.FlagSet, v *sim.Version) (tsCycles, programCycles int64, err error) {
 	rng := rand.New(rand.NewSource(b.Seed(31)))
 	mem := sim.NewMemory(b.Prog)
 	if ds.Setup != nil {

@@ -41,6 +41,16 @@ func finite(v float64) float64 {
 // backoff, verification time).
 func (e *engine) emitCache(round, ordinal int, label string, vi versionInfo, fresh bool) {
 	ev := trace.Event{Kind: trace.KindCache, Round: round + 1, Ordinal: ordinal, Flag: label}
+	if e.store != nil {
+		// Tier is provenance: "disk" when the resolution was answered by a
+		// persistent-store preload, "memory" when this process compiled or
+		// cached it. Emitted only with a store attached, so trace bytes are
+		// unchanged when the store is disabled.
+		ev.Tier = "memory"
+		if vi.fromDisk {
+			ev.Tier = "disk"
+		}
+	}
 	if !fresh {
 		ev.Outcome = "hit"
 	} else {
@@ -68,6 +78,10 @@ func (e *engine) emitRate(round, ordinal int, label string, r *jobResult) {
 	if r.converged {
 		outcome = "converged"
 	}
+	tier := ""
+	if r.memoized {
+		tier = "memo"
+	}
 	e.emit(trace.Event{
 		Kind:        trace.KindRate,
 		Round:       round + 1,
@@ -83,6 +97,7 @@ func (e *engine) emitRate(round, ordinal int, label string, r *jobResult) {
 		Retries:     r.ctx.measureRetries,
 		Count:       int64(r.jobRetries),
 		Cycles:      e.res.TuningCycles,
+		Tier:        tier,
 	})
 }
 

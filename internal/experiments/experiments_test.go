@@ -232,7 +232,7 @@ func TestVersionCacheDeterminism(t *testing.T) {
 		}
 		tab := FormatTable1(rows, []int{10, 20})
 
-		noise, err := noiseReportFor(benches, m, &cfg, pool, nil, nil)
+		noise, err := noiseReportFor(benches, m, &cfg, pool, nil, nil, nil)
 		if err != nil {
 			t.Fatalf("noise report (nocache=%v): %v", noCache, err)
 		}

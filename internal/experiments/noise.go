@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 
 	"peak/internal/bench"
@@ -11,6 +13,7 @@ import (
 	"peak/internal/profiling"
 	"peak/internal/sched"
 	"peak/internal/sim"
+	"peak/internal/store"
 	"peak/internal/trace"
 	"peak/internal/workloads"
 )
@@ -98,11 +101,56 @@ func NoiseReportOn(m *machine.Machine, cfg *core.Config, pool sched.Pool) (strin
 // count (the grid touches no compile cache, so -nocache trivially
 // matches too).
 func NoiseReportTraced(m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics) (string, error) {
-	return noiseReportFor(workloads.All(), m, cfg, pool, tb, mx)
+	return noiseReportFor(workloads.All(), m, cfg, pool, tb, mx, nil)
 }
 
-// noiseReportFor is NoiseReportTraced over an explicit benchmark list.
-func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics) (string, error) {
+// NoiseReportStored is NoiseReportTraced with a persistent warm-start
+// store: each (benchmark, regime) grid cell's result is memoized under a
+// key covering the benchmark, machine, regime noise model and full rating
+// configuration, so a warm rerun answers the cells without profiling or
+// simulating. The report (and the trace) are byte-identical with the store
+// nil, cold or warm — a memo hit restores exactly the values a cold cell
+// computes. The winner-trial section is cheap and always runs live.
+func NoiseReportStored(m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics, st *store.Store) (string, error) {
+	return noiseReportFor(workloads.All(), m, cfg, pool, tb, mx, st)
+}
+
+// cellMemoKey names one noise-grid cell in the store's memo table. The
+// config digest covers the regime's noise model (cfg.Noise is resolved by
+// MemoDigest), so two regimes never share a record.
+func cellMemoKey(b *bench.Benchmark, m *machine.Machine, regime string, c *core.Config) string {
+	return fmt.Sprintf("v1/noise/%s/%s/%s/w=%d/cfg=%s", b.Name, m.Name, regime, NoiseWindow, c.MemoDigest(m))
+}
+
+// encodeCellMemo packs a cell's outcome (chosen method + headline window
+// statistic) into a deterministic 32-byte payload; decodeCellMemo is its
+// inverse, returning false on any size or range mismatch so a stale or
+// foreign record falls back to computing the cell live.
+func encodeCellMemo(method core.Method, st core.WindowStat) []byte {
+	buf := make([]byte, 0, 32)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(method))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Mu))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Sigma))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.N))
+	return buf
+}
+
+// decodeCellMemo unpacks encodeCellMemo's payload.
+func decodeCellMemo(payload []byte) (core.Method, core.WindowStat, bool) {
+	if len(payload) != 32 {
+		return 0, core.WindowStat{}, false
+	}
+	method := core.Method(binary.LittleEndian.Uint64(payload))
+	st := core.WindowStat{
+		Mu:    math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Sigma: math.Float64frombits(binary.LittleEndian.Uint64(payload[16:])),
+		N:     int(binary.LittleEndian.Uint64(payload[24:])),
+	}
+	return method, st, true
+}
+
+// noiseReportFor is NoiseReportStored over an explicit benchmark list.
+func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Config, pool sched.Pool, tb *trace.Buffer, mx *trace.Metrics, ps *store.Store) (string, error) {
 	if pool == nil {
 		pool = sched.NewSerial()
 	}
@@ -118,13 +166,37 @@ func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 	pool.Map(len(cells), func(i int) {
 		b := benches[i/len(regimes)]
 		regime := regimes[i%len(regimes)]
+		c := *cfg
+		c.Noise = &regime.Model
+		// emit builds the cell's trace event — identical whether the values
+		// were computed live or restored from the memo table, so the trace
+		// bytes never depend on the store's temperature.
+		emit := func(method core.Method, st core.WindowStat) *trace.Buffer {
+			if tb == nil {
+				return nil
+			}
+			ctb := trace.NewBuffer()
+			ctb.Emit(trace.Event{Kind: trace.KindCell,
+				Detail: fmt.Sprintf("noise/%s/%s/%s", b.Name, m.Name, regime.Name),
+				Method: method.String(), Count: NoiseWindow,
+				Mu: st.Mu, Sigma: st.Sigma})
+			return ctb
+		}
+		var memoK string
+		if ps != nil {
+			memoK = cellMemoKey(b, m, regime.Name, &c)
+			if payload, ok := ps.LookupMemo(core.MemoKindCell, memoK); ok {
+				if method, st, valid := decodeCellMemo(payload); valid {
+					cells[i] = cell{method: method, stat: st, tb: emit(method, st)}
+					return
+				}
+			}
+		}
 		p, err := profiling.Run(b, b.Train, m)
 		if err != nil {
 			cells[i] = cell{err: err}
 			return
 		}
-		c := *cfg
-		c.Noise = &regime.Model
 		method := core.Consult(p, &c).Chosen()
 		rows, err := core.Consistency(b, m, p, method, []int{NoiseWindow}, &c)
 		if err != nil {
@@ -133,15 +205,10 @@ func noiseReportFor(benches []*bench.Benchmark, m *machine.Machine, cfg *core.Co
 		}
 		// The dominant-context row carries the headline statistic.
 		st := rows[0].Windows[NoiseWindow]
-		var ctb *trace.Buffer
-		if tb != nil {
-			ctb = trace.NewBuffer()
-			ctb.Emit(trace.Event{Kind: trace.KindCell,
-				Detail: fmt.Sprintf("noise/%s/%s/%s", b.Name, m.Name, regime.Name),
-				Method: method.String(), Count: NoiseWindow,
-				Mu: st.Mu, Sigma: st.Sigma})
+		if ps != nil {
+			ps.RecordMemo(core.MemoKindCell, memoK, encodeCellMemo(method, st))
 		}
-		cells[i] = cell{method: method, stat: st, tb: ctb}
+		cells[i] = cell{method: method, stat: st, tb: emit(method, st)}
 	})
 	for i := range cells {
 		if cells[i].err != nil {

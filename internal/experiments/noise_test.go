@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"peak/internal/core"
 	"peak/internal/machine"
 	"peak/internal/sched"
+	"peak/internal/store"
+	"peak/internal/trace"
 )
 
 func TestNoiseRegimes(t *testing.T) {
@@ -49,11 +52,11 @@ func TestNoiseReportDeterministic(t *testing.T) {
 	benches := []*bench.Benchmark{quickBenchmark()}
 	m := machine.SPARCII()
 	cfg := core.DefaultConfig()
-	serial, err := noiseReportFor(benches, m, &cfg, nil, nil, nil)
+	serial, err := noiseReportFor(benches, m, &cfg, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := noiseReportFor(benches, m, &cfg, sched.New(8), nil, nil)
+	parallel, err := noiseReportFor(benches, m, &cfg, sched.New(8), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,6 +67,67 @@ func TestNoiseReportDeterministic(t *testing.T) {
 	for _, want := range []string{"QUICK", "baseline", "bursts", "wrong adopts", "Welch-gated"} {
 		if !strings.Contains(serial, want) {
 			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestNoiseReportWarmStartByteIdentical pins the experiments half of the
+// warm-start contract: the noise report (text and trace) is byte-identical
+// with the cell memo off, cold (empty store) and warm (reopened after a
+// flush), at 1 and 8 workers — and the warm runs answer every grid cell
+// from the memo table (zero misses, no live profiling). Runs under -race
+// in the tier-1 recipe.
+func TestNoiseReportWarmStartByteIdentical(t *testing.T) {
+	benches := []*bench.Benchmark{quickBenchmark()}
+	m := machine.SPARCII()
+	cfg := core.DefaultConfig()
+	dir := t.TempDir()
+
+	run := func(ps *store.Store, workers int) (string, string) {
+		tb := trace.NewBuffer()
+		report, err := noiseReportFor(benches, m, &cfg, sched.New(workers), tb, nil, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, ev := range tb.Events() {
+			fmt.Fprintf(&sb, "%+v\n", ev)
+		}
+		return report, sb.String()
+	}
+
+	wantReport, wantTrace := run(nil, 4)
+
+	cold, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldReport, coldTrace := run(cold, 4)
+	if coldReport != wantReport || coldTrace != wantTrace {
+		t.Fatal("attaching an empty store changed the noise report or trace")
+	}
+	if st := cold.Stats(); st.Pending == 0 {
+		t.Fatalf("cold run recorded no cell memos: %+v", st)
+	}
+	if err := cold.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		warm, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, traceStr := run(warm, workers)
+		if report != wantReport {
+			t.Errorf("warm report (%d workers) differs from cold", workers)
+		}
+		if traceStr != wantTrace {
+			t.Errorf("warm trace (%d workers) differs from cold", workers)
+		}
+		st := warm.Stats()
+		if st.MemoHits == 0 || st.MemoMisses != 0 {
+			t.Errorf("warm run (%d workers) stats = %+v, want all-hit cell lookups", workers, st)
 		}
 	}
 }

@@ -97,7 +97,7 @@ func TestNoiseReportTraceDeterministic(t *testing.T) {
 		cfg := core.DefaultConfig()
 		tb := trace.NewBuffer()
 		mx := trace.NewMetrics()
-		report, err := noiseReportFor(benches, m, &cfg, sched.New(workers), tb, mx)
+		report, err := noiseReportFor(benches, m, &cfg, sched.New(workers), tb, mx, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

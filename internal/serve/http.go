@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"peak/internal/fault"
+	"peak/internal/store"
 )
 
 // Stats is the GET /stats payload. Every figure is finite by
@@ -34,6 +35,12 @@ type Stats struct {
 	// JournalRecovery summarizes what OpenJournal found on disk (absent
 	// without a journal): torn tails truncated, corrupt records dropped.
 	JournalRecovery *fault.RecoveryReport `json:"journal_recovery,omitempty"`
+	// Store is the persistent warm-start store's snapshot/flush side
+	// (absent without -cache-dir).
+	Store *StoreStats `json:"store,omitempty"`
+	// Memo is the store's memo table: rating/measurement/job records loaded,
+	// queued and consulted (absent without -cache-dir).
+	Memo *MemoStats `json:"memo,omitempty"`
 	// Breaker is the circuit breaker's state (absent when disabled).
 	Breaker *BreakerStats `json:"breaker,omitempty"`
 	// WatchdogStalls counts jobs the watchdog canceled for making no round
@@ -54,7 +61,9 @@ type PoolStats struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// CacheStats mirrors vcache.Stats for the shared compile cache.
+// CacheStats mirrors vcache.Stats for the shared compile cache. The two
+// disk-tier figures (Preloaded, DiskHits) are omitted when zero, so the
+// /stats bytes are unchanged for servers running without a store.
 type CacheStats struct {
 	Lookups  int64   `json:"lookups"`
 	Hits     int64   `json:"hits"`
@@ -64,6 +73,45 @@ type CacheStats struct {
 	Entries  int64   `json:"entries"`
 	Versions int64   `json:"versions"`
 	Bytes    int64   `json:"bytes"`
+	// Preloaded counts entries installed from the store's snapshot at boot;
+	// DiskHits the lookups those preloaded entries answered.
+	Preloaded int64 `json:"preloaded,omitempty"`
+	DiskHits  int64 `json:"disk_hits,omitempty"`
+}
+
+// StoreStats is the /stats "store" block: the persistent warm-start
+// store's load/flush counters plus the server's own restoration tally.
+type StoreStats struct {
+	// Versions and Entries count the compile-cache bodies and alias keys
+	// loaded from disk at Open; Preloaded the alias keys installed into the
+	// shared cache at boot.
+	Versions  int64 `json:"versions"`
+	Entries   int64 `json:"entries"`
+	Preloaded int64 `json:"preloaded"`
+	// RestoredJobs counts finished jobs rebuilt from job artifacts at boot;
+	// each answers duplicate submissions with zero simulator invocations.
+	RestoredJobs int64 `json:"restored_jobs"`
+	// Flushes and FlushedBytes describe Flush rewrites this process;
+	// FlushError is the last drain-time flush failure (absent when none).
+	Flushes      int64  `json:"flushes"`
+	FlushedBytes int64  `json:"flushed_bytes"`
+	FlushError   string `json:"flush_error,omitempty"`
+	// Recovery reports what Open found on disk (torn tails, corrupt or
+	// fingerprint-mismatched records dropped).
+	Recovery store.RecoveryReport `json:"recovery"`
+}
+
+// MemoStats is the /stats "memo" block: the store's memo table of
+// finished rating, measurement and job records.
+type MemoStats struct {
+	// Records is the frozen read set loaded at Open; Pending the new
+	// records queued for the next flush.
+	Records int64 `json:"records"`
+	Pending int64 `json:"pending"`
+	// Hits and Misses count lookups against the frozen read set — a hit is
+	// a simulation that never ran.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // Stats assembles the current server statistics.
@@ -97,6 +145,29 @@ func (s *Server) Stats() Stats {
 			Lookups: cs.Lookups, Hits: cs.Hits, Misses: cs.Misses,
 			Shared: cs.Shared, HitRate: cs.HitRate(),
 			Entries: cs.Entries, Versions: cs.Versions, Bytes: cs.Bytes,
+			Preloaded: cs.Preloaded, DiskHits: cs.DiskHits,
+		}
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		s.mu.Lock()
+		flushErr := s.storeFlushErr
+		s.mu.Unlock()
+		st.Store = &StoreStats{
+			Versions:     ss.Versions,
+			Entries:      ss.Entries,
+			Preloaded:    ss.Preloaded,
+			RestoredJobs: s.restoredJobs.Load(),
+			Flushes:      ss.Flushes,
+			FlushedBytes: ss.FlushedBytes,
+			FlushError:   flushErr,
+			Recovery:     s.store.Recovery(),
+		}
+		st.Memo = &MemoStats{
+			Records: ss.Memos,
+			Pending: ss.Pending,
+			Hits:    ss.MemoHits,
+			Misses:  ss.MemoMisses,
 		}
 	}
 	if s.journal != nil {

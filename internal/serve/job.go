@@ -241,6 +241,24 @@ type Result struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// jobArtifact is the persisted form of a finished job: everything the
+// server re-serves for it, recorded in the warm-start store under
+// core.MemoKindJob keyed by the canonical spec. json.Marshal renders it
+// deterministically (fixed field order, sorted map keys), which is what
+// lets the store's first-write-wins rule assume identical bytes from every
+// writer of one spec.
+type jobArtifact struct {
+	// Request is the canonicalized request body (spec.request verbatim).
+	Request json.RawMessage `json:"request"`
+	// Result is the engine's full deterministic ledger.
+	Result *core.TuneResult `json:"result"`
+	// Report and Metrics are the rendered text artifacts.
+	Report  string `json:"report"`
+	Metrics string `json:"metrics"`
+	// Trace is the job's flushed JSONL trace.
+	Trace []byte `json:"trace"`
+}
+
 // job is the internal job record. mu guards the mutable fields; the spec
 // and id are immutable after creation.
 type job struct {

@@ -30,6 +30,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"peak/internal/opt"
 	"peak/internal/profiling"
 	"peak/internal/sched"
+	"peak/internal/store"
 	"peak/internal/trace"
 	"peak/internal/vcache"
 )
@@ -92,6 +94,17 @@ type Options struct {
 	// this many quarantined flags (miscompile storm from the fault layer)
 	// count as a breaker failure even though the job itself is done.
 	QuarantineStorm int
+
+	// Store, when non-nil, is the persistent warm-start store
+	// (cmd/peak-serve -cache-dir): at New the store's compile-cache
+	// snapshot preloads the shared cache and every finished job recorded in
+	// a previous process is restored in state "done" — a duplicate
+	// submission is then answered without running a single simulation. At
+	// Drain the store is flushed (cache snapshot + new memo records +
+	// finished-job artifacts) so the next boot warm-starts from this one.
+	// Results, reports and traces stay byte-identical with or without a
+	// store; only wall time and the /stats store/memo blocks change.
+	Store *store.Store
 }
 
 // Server is the tuning service. Create with New, attach Handler to an
@@ -101,6 +114,12 @@ type Server struct {
 	pool    sched.Pool
 	cache   *vcache.Cache // nil when NoSharedCache
 	journal *fault.Journal
+	store   *store.Store // nil without -cache-dir
+
+	// restoredJobs counts finished jobs rebuilt from store artifacts at
+	// New; storeFlushErr (under mu) records the last drain-flush failure.
+	restoredJobs  atomic.Int64
+	storeFlushErr string
 
 	queue    chan *job
 	draining atomic.Bool
@@ -153,7 +172,48 @@ func New(opts Options) *Server {
 	if !opts.NoSharedCache {
 		s.cache = vcache.New()
 	}
+	if opts.Store != nil {
+		s.store = opts.Store
+		if s.cache != nil {
+			s.store.AttachCache(s.cache)
+		}
+		s.restoreJobs()
+	}
 	return s
+}
+
+// restoreJobs rebuilds finished jobs from the store's job artifacts (the
+// frozen read set loaded at Open). Each restored job sits in the jobs map
+// in state "done" with its original result, report, metrics and trace, so
+// a duplicate submission is answered from memory with zero simulator
+// invocations. Artifacts that fail to decode, or whose canonical spec no
+// longer matches their key (schema drift across versions), are skipped —
+// the job simply runs fresh when resubmitted.
+func (s *Server) restoreJobs() {
+	s.store.MemoEach(core.MemoKindJob, func(key string, payload []byte) {
+		var art jobArtifact
+		if err := json.Unmarshal(payload, &art); err != nil {
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(art.Request, &req); err != nil {
+			return
+		}
+		sp, err := parseSpec(req)
+		if err != nil || sp.canonical != key {
+			return
+		}
+		j := newJob(sp)
+		j.state = StateDone
+		j.res = art.Result
+		j.report = art.Report
+		j.metrics = art.Metrics
+		j.traceData = art.Trace
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.restoredJobs.Add(1)
+	})
 }
 
 // Start launches the job slots (and the watchdog when armed). It returns
@@ -392,6 +452,16 @@ func (s *Server) Drain() []Result {
 	if s.journal != nil {
 		s.journal.Sync()
 	}
+	if s.store != nil {
+		// Flush the warm-start store: the shared cache's snapshot, every
+		// memo record the tunes produced, and every finished job's artifact.
+		// A flush failure never blocks the drain — it is surfaced in /stats.
+		if err := s.store.Flush(); err != nil {
+			s.mu.Lock()
+			s.storeFlushErr = err.Error()
+			s.mu.Unlock()
+		}
+	}
 	var interrupted []Result
 	for _, r := range s.Jobs() {
 		if r.State == StateInterrupted || r.State == StateQueued || r.State == StateTimedOut {
@@ -554,6 +624,7 @@ func (s *Server) runJob(j *job) {
 		OnRound:      func(int) { j.noteProgress() },
 		Pool:         s.pool,
 		Cache:        s.cache,
+		Store:        s.store,
 		Journal:      s.journal,
 		CheckpointID: sp.checkpointID(),
 		Trace:        buf,
@@ -563,12 +634,15 @@ func (s *Server) runJob(j *job) {
 		fail(err)
 		return
 	}
-	base, _, err := core.MeasurePerformance(sp.bench, sp.bench.Ref, sp.mach, opt.O3())
+	// The final measurements resolve through the shared cache and memoize
+	// in the store (both nil-safe), so a warm restart answers them without
+	// simulating. Measured cycles are identical on every path.
+	base, _, err := core.MeasurePerformanceStored(sp.bench, sp.bench.Ref, sp.mach, opt.O3(), s.cache, s.store)
 	if err != nil {
 		fail(err)
 		return
 	}
-	tuned, _, err := core.MeasurePerformance(sp.bench, sp.bench.Ref, sp.mach, res.Best)
+	tuned, _, err := core.MeasurePerformanceStored(sp.bench, sp.bench.Ref, sp.mach, res.Best, s.cache, s.store)
 	if err != nil {
 		fail(err)
 		return
@@ -590,6 +664,22 @@ func (s *Server) runJob(j *job) {
 	j.metrics = mx.Format()
 	j.traceData = tb.Bytes()
 	j.mu.Unlock()
+
+	if s.store != nil {
+		// Persist the finished job verbatim so the next boot re-serves it
+		// byte-for-byte without simulating. The artifact is deterministic
+		// (the job's outputs are), so whichever process records a spec
+		// first writes the same bytes any other would have.
+		if payload, err := json.Marshal(jobArtifact{
+			Request: json.RawMessage(sp.request),
+			Result:  res,
+			Report:  j.report,
+			Metrics: j.metrics,
+			Trace:   tb.Bytes(),
+		}); err == nil {
+			s.store.RecordMemo(core.MemoKindJob, sp.canonical, payload)
+		}
+	}
 
 	// A done job is a breaker success — unless it quarantined so many
 	// miscompiled candidates that the toolchain itself looks sick.

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"peak/internal/ir"
+	"peak/internal/sim"
+	"peak/internal/vcache"
+)
+
+// Deterministic binary codec for sim.Version. Encoding is hand-rolled
+// little-endian rather than gob/json so that the same version always
+// produces the same bytes (map iteration is sorted, floats are bit
+// patterns) — the store file must be byte-reproducible from the same cache
+// content for the warm-start determinism checks to hold.
+//
+// A body is encoded shallowly: callees appear as (name, FP128) references
+// resolved against the store's content-addressed body table at load time,
+// so each distinct body is stored exactly once no matter how many call
+// graphs share it.
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) int(v int)     { e.i64(int64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) reg(r ir.Reg)  { e.i64(int64(r)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) fp(f vcache.FP128) {
+	e.u64(f.Hi)
+	e.u64(f.Lo)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated record payload")
+	}
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) int() int     { return int(d.i64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) reg() ir.Reg  { return ir.Reg(d.i64()) }
+
+func (d *decoder) bool() bool {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return false
+	}
+	v := d.buf[0] != 0
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || len(d.buf) < n {
+		d.fail()
+		return ""
+	}
+	v := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) fp() vcache.FP128 {
+	hi := d.u64()
+	lo := d.u64()
+	return vcache.FP128{Hi: hi, Lo: lo}
+}
+
+// count reads a u32 length and bounds it against the remaining payload
+// (elemSize is a lower bound on the per-element encoding) so a corrupt
+// length cannot drive a giant allocation.
+func (d *decoder) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+// calleeRef is an unresolved callee edge: Name in the parent's Callees map,
+// FP addressing the body in the store's table.
+type calleeRef struct {
+	Name string
+	FP   vcache.FP128
+}
+
+// encodeVersion appends the shallow encoding of v (callees by reference).
+func encodeVersion(e *encoder, v *sim.Version) {
+	lf := v.LF
+	e.str(lf.Name)
+	e.int(lf.NumRegs)
+	e.int(lf.NumCounters)
+	e.u32(uint32(len(lf.Params)))
+	for i, p := range lf.Params {
+		e.str(p.Name)
+		e.int(int(p.Typ))
+		e.bool(p.IsArray)
+		e.reg(lf.ParamRegs[i])
+	}
+	e.u32(uint32(len(lf.FloatReg)))
+	for _, b := range lf.FloatReg {
+		e.bool(b)
+	}
+	e.u32(uint32(len(lf.Blocks)))
+	for _, b := range lf.Blocks {
+		e.int(b.ID)
+		e.int(b.LoopDepth)
+		e.int(b.Origin)
+		e.int(int(b.Term.Kind))
+		e.reg(b.Term.Cond)
+		e.int(b.Term.Then)
+		e.int(b.Term.Else)
+		e.reg(b.Term.Val)
+		e.int(b.Term.Likely)
+		e.u32(uint32(len(b.Instrs)))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			e.int(int(in.Op))
+			e.reg(in.Dst)
+			e.reg(in.A)
+			e.reg(in.B)
+			e.reg(in.Src)
+			e.i64(in.Imm)
+			e.f64(in.FImm)
+			e.str(in.Arr)
+			e.str(in.Fn)
+			e.u32(uint32(len(in.CallArgs)))
+			for _, r := range in.CallArgs {
+				e.reg(r)
+			}
+		}
+	}
+	e.u32(uint32(len(v.Alloc.Spilled)))
+	for _, s := range v.Alloc.Spilled {
+		e.bool(s)
+	}
+	e.int(v.Alloc.NumSpilled)
+	e.int(v.Alloc.IntPressure)
+	e.int(v.Alloc.FloatPressure)
+	e.f64(v.Mods.TakenBranchFactor)
+	e.f64(v.Mods.CallOverheadFactor)
+	e.int(v.Mods.CodeSizeExtra)
+	e.bool(v.Mods.StaticPredict)
+	e.int(v.CodeSize)
+	e.int(v.NumOrigins)
+	e.str(v.Label)
+
+	names := make([]string, 0, len(v.Callees))
+	for name := range v.Callees {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		e.str(name)
+		e.fp(vcache.Fingerprint128(v.Callees[name]))
+	}
+}
+
+// decodeVersion reads one shallow version and its unresolved callee
+// references.
+func decodeVersion(d *decoder) (*sim.Version, []calleeRef) {
+	lf := &ir.LFunc{}
+	lf.Name = d.str()
+	lf.NumRegs = d.int()
+	lf.NumCounters = d.int()
+	np := d.count(1)
+	for i := 0; i < np; i++ {
+		lf.Params = append(lf.Params, ir.Param{
+			Name:    d.str(),
+			Typ:     ir.Type(d.int()),
+			IsArray: d.bool(),
+		})
+		lf.ParamRegs = append(lf.ParamRegs, d.reg())
+	}
+	nf := d.count(1)
+	for i := 0; i < nf; i++ {
+		lf.FloatReg = append(lf.FloatReg, d.bool())
+	}
+	nb := d.count(8)
+	for i := 0; i < nb; i++ {
+		b := &ir.Block{}
+		b.ID = d.int()
+		b.LoopDepth = d.int()
+		b.Origin = d.int()
+		b.Term.Kind = ir.TermKind(d.int())
+		b.Term.Cond = d.reg()
+		b.Term.Then = d.int()
+		b.Term.Else = d.int()
+		b.Term.Val = d.reg()
+		b.Term.Likely = d.int()
+		ni := d.count(8)
+		for j := 0; j < ni; j++ {
+			var in ir.Instr
+			in.Op = ir.Opcode(d.int())
+			in.Dst = d.reg()
+			in.A = d.reg()
+			in.B = d.reg()
+			in.Src = d.reg()
+			in.Imm = d.i64()
+			in.FImm = d.f64()
+			in.Arr = d.str()
+			in.Fn = d.str()
+			na := d.count(8)
+			for k := 0; k < na; k++ {
+				in.CallArgs = append(in.CallArgs, d.reg())
+			}
+			b.Instrs = append(b.Instrs, in)
+		}
+		lf.Blocks = append(lf.Blocks, b)
+	}
+	v := &sim.Version{LF: lf}
+	ns := d.count(1)
+	for i := 0; i < ns; i++ {
+		v.Alloc.Spilled = append(v.Alloc.Spilled, d.bool())
+	}
+	v.Alloc.NumSpilled = d.int()
+	v.Alloc.IntPressure = d.int()
+	v.Alloc.FloatPressure = d.int()
+	v.Mods.TakenBranchFactor = d.f64()
+	v.Mods.CallOverheadFactor = d.f64()
+	v.Mods.CodeSizeExtra = d.int()
+	v.Mods.StaticPredict = d.bool()
+	v.CodeSize = d.int()
+	v.NumOrigins = d.int()
+	v.Label = d.str()
+	nc := d.count(20)
+	var refs []calleeRef
+	for i := 0; i < nc; i++ {
+		refs = append(refs, calleeRef{Name: d.str(), FP: d.fp()})
+	}
+	if d.err != nil || len(d.buf) != 0 {
+		return nil, nil
+	}
+	return v, refs
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// On-disk layout of the store file (peak.store):
+//
+//	header  := magic[8] version[u32 LE]
+//	record  := kind[1] len[u32 LE] payload[len] crc[u32 LE]
+//
+// The CRC-32C covers kind, len and payload, so a flipped bit anywhere in a
+// record — including its framing — is detected. Records follow each other
+// with no padding. A file is only ever produced by Flush's full
+// temp+fsync+rename rewrite, so a torn tail can appear only if the rename
+// itself was interrupted by the kernel mid-crash; the reader still treats
+// any undersized or CRC-failing suffix as a torn tail and keeps the valid
+// prefix, mirroring the fault journal's recovery contract.
+const (
+	storeMagic   = "PEAKSTR1"
+	storeVersion = 1
+
+	recVersionBody byte = 1 // FP128 + encoded sim.Version
+	recAlias       byte = 2 // vcache.Key -> FP128 (+ shared bit)
+	recMemo        byte = 3 // memo kind + key + payload
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord frames one record onto dst.
+func appendRecord(dst []byte, kind byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// rawRecord is one framed record as read back from disk, CRC already
+// verified.
+type rawRecord struct {
+	kind    byte
+	payload []byte
+}
+
+// parseFile splits a store file into verified records. It never fails:
+// a bad header yields zero records with headerInvalid set, and the first
+// undersized or corrupt record truncates the read there, reporting the
+// remainder as dropped bytes.
+func parseFile(data []byte) (recs []rawRecord, dropped int, torn, headerInvalid bool) {
+	if len(data) < len(storeMagic)+4 ||
+		string(data[:len(storeMagic)]) != storeMagic ||
+		binary.LittleEndian.Uint32(data[len(storeMagic):]) != storeVersion {
+		return nil, len(data), false, true
+	}
+	rest := data[len(storeMagic)+4:]
+	for len(rest) > 0 {
+		if len(rest) < 9 {
+			return recs, len(rest), true, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest[1:5]))
+		if len(rest) < 9+n {
+			return recs, len(rest), true, false
+		}
+		want := binary.LittleEndian.Uint32(rest[5+n : 9+n])
+		if crc32.Checksum(rest[:5+n], crcTable) != want {
+			return recs, len(rest), true, false
+		}
+		recs = append(recs, rawRecord{kind: rest[0], payload: rest[5 : 5+n]})
+		rest = rest[9+n:]
+	}
+	return recs, 0, false, false
+}

@@ -1,0 +1,440 @@
+// Package store persists tuning state across process restarts: a
+// content-addressed snapshot of the compile cache (internal/vcache) and a
+// memo table of finished rating work, both in one CRC-32C-framed file
+// written atomically (temp + fsync + rename).
+//
+// The store is the disk tier of the two-tier cache. The memory tier — the
+// vcache — answers repeat compilations within a process; the store carries
+// them across processes, and carries something the memory tier never held:
+// memoized rating results, so a warm restart can skip simulation entirely
+// for work it has already measured.
+//
+// Determinism contract: the memo read set is frozen at Open. LookupMemo
+// answers only from records loaded off disk at open time; RecordMemo
+// writes to a pending overlay that becomes visible only after Flush and a
+// reopen. A run therefore sees the same memo answers at every worker
+// count and in every scheduling order, which is what keeps warm outputs
+// byte-identical to cold ones. Payloads must themselves be deterministic
+// (same key ⇒ same bytes) — rating results under the engine's fixed seed
+// derivation are, which is also why results that depend on injected
+// faults must never be memoized: fault draws consume per-process stream
+// state that a key cannot capture.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"peak/internal/opt"
+	"peak/internal/sim"
+	"peak/internal/vcache"
+)
+
+// storeFile is the single data file inside the store directory.
+const storeFile = "peak.store"
+
+// memoKey identifies one memo record: Kind partitions the namespaces
+// ("rate", "cell", "job", ...), Key is the caller's full identity string.
+type memoKey struct {
+	Kind, Key string
+}
+
+// Stats is a snapshot of the store's counters, shaped for JSON (the serve
+// /stats "store" and "memo" blocks render it). All values are
+// scheduling-independent: the loaded set is fixed at Open and the pending
+// set depends only on which work ran, not on order.
+type Stats struct {
+	// Versions and Entries count the cache bodies and alias keys loaded
+	// from disk at Open; Memos the memo records loaded (the frozen read
+	// set).
+	Versions int64 `json:"versions"`
+	Entries  int64 `json:"entries"`
+	Memos    int64 `json:"memos"`
+	// Preloaded is the number of alias keys AttachCache installed into
+	// the attached compile cache.
+	Preloaded int64 `json:"preloaded"`
+	// MemoHits and MemoMisses count LookupMemo outcomes against the
+	// frozen read set; Pending the records queued by RecordMemo for the
+	// next Flush.
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+	Pending    int64 `json:"pending"`
+	// Flushes counts completed Flush rewrites; FlushedBytes the size of
+	// the last file written.
+	Flushes      int64 `json:"flushes"`
+	FlushedBytes int64 `json:"flushed_bytes"`
+}
+
+// RecoveryReport describes what Open found on disk, mirroring the fault
+// journal's recovery contract: the valid prefix is kept, everything after
+// the first torn or corrupt frame is dropped and counted.
+type RecoveryReport struct {
+	// Records is the number of intact frames read.
+	Records int `json:"records"`
+	// DroppedBytes is the size of the torn/corrupt suffix discarded;
+	// TornTail is set when one existed.
+	DroppedBytes int  `json:"dropped_bytes"`
+	TornTail     bool `json:"torn_tail"`
+	// HeaderInvalid is set when the file existed but its magic or format
+	// version did not match; the store then opens empty.
+	HeaderInvalid bool `json:"header_invalid"`
+	// DroppedBodies counts version bodies rejected at load: payload
+	// decode failure, a dangling callee reference, or — the integrity
+	// backstop — a body whose re-computed 128-bit fingerprint does not
+	// match the fingerprint it was stored under. DroppedAliases counts
+	// alias keys whose body was rejected.
+	DroppedBodies  int `json:"dropped_bodies"`
+	DroppedAliases int `json:"dropped_aliases"`
+}
+
+// Store is a persistent warm-start store bound to one directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	cache *vcache.Cache // attached by AttachCache; exported at Flush
+
+	versions map[vcache.FP128]*sim.Version // loaded, verified, frozen bodies
+	entries  []vcache.SnapshotEntry        // loaded alias keys
+	memo     map[memoKey][]byte            // frozen read set (loaded at Open)
+	pending  map[memoKey][]byte            // overlay visible after Flush+reopen
+
+	stats    Stats
+	recovery RecoveryReport
+}
+
+// Open loads the store in dir, creating the directory if needed. A missing
+// file opens an empty store; a damaged file opens with the valid prefix
+// and a RecoveryReport, never an error. Errors are reserved for an
+// unusable directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		versions: make(map[vcache.FP128]*sim.Version),
+		memo:     make(map[memoKey][]byte),
+		pending:  make(map[memoKey][]byte),
+	}
+	data, err := os.ReadFile(filepath.Join(dir, storeFile))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.load(data)
+	return s, nil
+}
+
+// load parses the file contents into the frozen read set.
+func (s *Store) load(data []byte) {
+	recs, dropped, torn, headerInvalid := parseFile(data)
+	s.recovery = RecoveryReport{
+		Records:       len(recs),
+		DroppedBytes:  dropped,
+		TornTail:      torn,
+		HeaderInvalid: headerInvalid,
+	}
+	type pendingBody struct {
+		v    *sim.Version
+		refs []calleeRef
+	}
+	bodies := make(map[vcache.FP128]pendingBody)
+	for _, r := range recs {
+		d := &decoder{buf: r.payload}
+		switch r.kind {
+		case recVersionBody:
+			fp := d.fp()
+			v, refs := decodeVersion(d)
+			if v == nil {
+				s.recovery.DroppedBodies++
+				continue
+			}
+			bodies[fp] = pendingBody{v: v, refs: refs}
+		case recAlias:
+			var se vcache.SnapshotEntry
+			se.Key.Prog = d.u64()
+			se.Key.Fn = d.str()
+			se.Key.Flags = opt.FlagSet(d.u64())
+			se.Key.Machine = d.str()
+			se.FP = d.fp()
+			se.Shared = d.bool()
+			if d.err != nil || len(d.buf) != 0 {
+				s.recovery.DroppedAliases++
+				continue
+			}
+			s.entries = append(s.entries, se)
+		case recMemo:
+			kind := d.str()
+			key := d.str()
+			n := d.count(1)
+			if d.err != nil || n != len(d.buf) {
+				continue
+			}
+			val := make([]byte, n)
+			copy(val, d.buf)
+			s.memo[memoKey{Kind: kind, Key: key}] = val
+		}
+	}
+	// Link every resolvable callee reference, then verify each body by
+	// re-computing its full fingerprint. Verification is a pure function
+	// of decoded content, so the kept set is deterministic. It catches a
+	// dangling callee (the missing entry changes the hash), a payload
+	// forged under another body's low 64 bits (the collision regression:
+	// the store keys on all 128, so the forgery occupies its own slot and
+	// fails its own check) and any decode drift.
+	for _, pb := range bodies {
+		for _, ref := range pb.refs {
+			callee, exists := bodies[ref.FP]
+			if !exists {
+				continue
+			}
+			if pb.v.Callees == nil {
+				pb.v.Callees = make(map[string]*sim.Version)
+			}
+			pb.v.Callees[ref.Name] = callee.v
+		}
+	}
+	for fp, pb := range bodies {
+		if vcache.Fingerprint128(pb.v) != fp {
+			s.recovery.DroppedBodies++
+			continue
+		}
+		pb.v.Freeze()
+		s.versions[fp] = pb.v
+	}
+	kept := s.entries[:0]
+	for _, se := range s.entries {
+		if _, ok := s.versions[se.FP]; !ok {
+			s.recovery.DroppedAliases++
+			continue
+		}
+		kept = append(kept, se)
+	}
+	s.entries = kept
+	s.stats.Versions = int64(len(s.versions))
+	s.stats.Entries = int64(len(s.entries))
+	s.stats.Memos = int64(len(s.memo))
+}
+
+// AttachCache preloads the store's snapshot into c and remembers c as the
+// cache to export at Flush time. Returns the number of keys installed.
+func (s *Store) AttachCache(c *vcache.Cache) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+	n := c.Preload(vcache.Snapshot{Versions: s.versions, Entries: s.entries})
+	s.stats.Preloaded += int64(n)
+	return n
+}
+
+// LookupMemo returns the payload recorded under (kind, key) in the frozen
+// read set loaded at Open. Records written this process (RecordMemo) are
+// never returned — they become visible only after Flush and a reopen,
+// which is what keeps memo answers independent of scheduling.
+func (s *Store) LookupMemo(kind, key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.memo[memoKey{Kind: kind, Key: key}]
+	if ok {
+		s.stats.MemoHits++
+	} else {
+		s.stats.MemoMisses++
+	}
+	return v, ok
+}
+
+// RecordMemo queues payload under (kind, key) for the next Flush. The
+// first write wins; re-records of a key already queued or already in the
+// read set are dropped (payloads are required to be deterministic, so all
+// writers of one key carry identical bytes). Nil-safe no-op payloads are
+// copied, so callers may reuse their buffer.
+func (s *Store) RecordMemo(kind, key string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mk := memoKey{Kind: kind, Key: key}
+	if _, ok := s.memo[mk]; ok {
+		return
+	}
+	if _, ok := s.pending[mk]; ok {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.pending[mk] = cp
+	s.stats.Pending++
+}
+
+// MemoEach calls fn for every record of the given kind in the frozen read
+// set, in sorted key order. Pending records are not visited — like
+// LookupMemo, iteration sees only what was on disk at Open.
+func (s *Store) MemoEach(kind string, fn func(key string, payload []byte)) {
+	s.mu.Lock()
+	keys := make([]string, 0)
+	for mk := range s.memo {
+		if mk.Kind == kind {
+			keys = append(keys, mk.Key)
+		}
+	}
+	sort.Strings(keys)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = s.memo[memoKey{Kind: kind, Key: k}]
+	}
+	s.mu.Unlock()
+	for i, k := range keys {
+		fn(k, vals[i])
+	}
+}
+
+// Flush rewrites the store file atomically: the attached cache's current
+// snapshot (if one is attached), plus the union of the loaded and pending
+// memo sets, framed, written to a temp file, fsynced and renamed over the
+// old file. The file is byte-deterministic for a given content: bodies
+// are sorted by fingerprint, aliases by key, memos by (kind, key).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, storeMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, storeVersion)
+
+	sn := vcache.Snapshot{Versions: s.versions, Entries: s.entries}
+	if s.cache != nil {
+		sn = s.cache.Export()
+		// Bodies only the disk knew about (e.g. for machines this process
+		// never compiled for) must survive the rewrite.
+		for fp, v := range s.versions {
+			if _, ok := sn.Versions[fp]; !ok {
+				sn.Versions[fp] = v
+			}
+		}
+		have := make(map[vcache.Key]bool, len(sn.Entries))
+		for _, se := range sn.Entries {
+			have[se.Key] = true
+		}
+		for _, se := range s.entries {
+			if !have[se.Key] {
+				sn.Entries = append(sn.Entries, se)
+			}
+		}
+		sortEntries(sn.Entries)
+	}
+	fps := make([]vcache.FP128, 0, len(sn.Versions))
+	for fp := range sn.Versions {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		if fps[i].Hi != fps[j].Hi {
+			return fps[i].Hi < fps[j].Hi
+		}
+		return fps[i].Lo < fps[j].Lo
+	})
+	for _, fp := range fps {
+		e := &encoder{}
+		e.fp(fp)
+		encodeVersion(e, sn.Versions[fp])
+		buf = appendRecord(buf, recVersionBody, e.buf)
+	}
+	for _, se := range sn.Entries {
+		e := &encoder{}
+		e.u64(se.Key.Prog)
+		e.str(se.Key.Fn)
+		e.u64(uint64(se.Key.Flags))
+		e.str(se.Key.Machine)
+		e.fp(se.FP)
+		e.bool(se.Shared)
+		buf = appendRecord(buf, recAlias, e.buf)
+	}
+	mks := make([]memoKey, 0, len(s.memo)+len(s.pending))
+	for mk := range s.memo {
+		mks = append(mks, mk)
+	}
+	for mk := range s.pending {
+		mks = append(mks, mk)
+	}
+	sort.Slice(mks, func(i, j int) bool {
+		if mks[i].Kind != mks[j].Kind {
+			return mks[i].Kind < mks[j].Kind
+		}
+		return mks[i].Key < mks[j].Key
+	})
+	for _, mk := range mks {
+		val, ok := s.memo[mk]
+		if !ok {
+			val = s.pending[mk]
+		}
+		e := &encoder{}
+		e.str(mk.Kind)
+		e.str(mk.Key)
+		e.u32(uint32(len(val)))
+		e.buf = append(e.buf, val...)
+		buf = appendRecord(buf, recMemo, e.buf)
+	}
+
+	tmp, err := os.CreateTemp(s.dir, storeFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, storeFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.stats.Flushes++
+	s.stats.FlushedBytes = int64(len(buf))
+	return nil
+}
+
+// Stats returns a consistent snapshot of the counters (taken under the
+// same mutex every writer holds).
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Recovery returns what Open found on disk.
+func (s *Store) Recovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// sortEntries orders snapshot entries by (Prog, Fn, Machine, Flags), the
+// same order vcache.Export emits.
+func sortEntries(entries []vcache.SnapshotEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Prog != b.Prog {
+			return a.Prog < b.Prog
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Flags < b.Flags
+	})
+}

@@ -165,6 +165,13 @@ type Event struct {
 	Sigma float64 `json:"sigma,omitempty"`
 	// Detail is kind-specific free text (dataset, regime, winner flags).
 	Detail string `json:"detail,omitempty"`
+	// Tier is the serving tier of a cache or rate event when a persistent
+	// store is attached: "memory" (resolved by this process), "disk"
+	// (preloaded from the store's snapshot) or "memo" (rating restored
+	// from the store's memo table, no simulation run). Empty — and absent
+	// from the JSON — whenever no store is attached, so trace bytes are
+	// unchanged with the store disabled.
+	Tier string `json:"tier,omitempty"`
 	// Counts is a kind-specific named-counter block. encoding/json sorts
 	// map keys, so Counts marshals deterministically.
 	Counts map[string]int64 `json:"counts,omitempty"`

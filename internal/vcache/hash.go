@@ -1,27 +1,75 @@
 package vcache
 
 import (
+	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"peak/internal/ir"
 	"peak/internal/sim"
 )
 
-// FNV-1a, 64-bit. The hashers below feed every semantically relevant field
+// FNV-1a, 128-bit. The hashers below feed every semantically relevant field
 // through it in a fixed traversal order, so equal hashes are (collisions
-// aside) equal programs / equal generated code.
+// aside) equal programs / equal generated code. The full 128 bits key the
+// persistent store's content-addressed records, where a long-lived file
+// accumulates enough distinct versions that 64-bit birthday collisions stop
+// being negligible; the in-memory dedup paths keep using the low 64 bits
+// (see Fingerprint), whose collision budget resets every process.
 const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
+	// fnvOffset64/fnvPrime64 parameterize the legacy 64-bit FNV-1a lane.
+	// ProgramKey and FuncKey still report this lane: their values are part
+	// of the fault-injection identity strings ("progKey/fn/flags/machine"),
+	// so changing them would silently re-roll every committed fault draw.
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// fnvOffsetHi/Lo is the FNV-128 offset basis
+	// 0x6C62272E07BB014262B821756295C592.
+	fnvOffsetHi = 0x6C62272E07BB0142
+	fnvOffsetLo = 0x62B821756295C592
+	// fnvPrimeHi/Lo is the FNV-128 prime 2^88 + 2^8 + 0x3B.
+	fnvPrimeHi = 1 << 24
+	fnvPrimeLo = 0x13B
 )
 
-type hasher uint64
+// FP128 is a 128-bit content fingerprint (FNV-1a-128 of the hashed
+// traversal). It is the persistent store's cache key; the in-memory cache
+// aliases on the low 64 bits only (Fingerprint), keeping its hot maps
+// compact.
+type FP128 struct {
+	Hi, Lo uint64
+}
 
-func newHasher() hasher { return fnvOffset }
+// String renders the fingerprint as 32 lower-case hex digits, the form
+// memo keys embed.
+func (f FP128) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// IsZero reports whether the fingerprint is the zero value (no real
+// traversal hashes to zero under FNV's nonzero offset basis, so zero is
+// usable as "absent").
+func (f FP128) IsZero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+// hasher folds every byte through two FNV-1a lanes at once: the legacy
+// 64-bit lane that ProgramKey/FuncKey report (their values must stay
+// stable — see the constant block above) and the 128-bit lane behind
+// Fingerprint128 that keys the persistent store.
+type hasher struct {
+	h64    uint64
+	hi, lo uint64
+}
+
+func newHasher() hasher {
+	return hasher{h64: fnvOffset64, hi: fnvOffsetHi, lo: fnvOffsetLo}
+}
 
 func (h *hasher) byte(b byte) {
-	*h = (*h ^ hasher(b)) * fnvPrime
+	h.h64 = (h.h64 ^ uint64(b)) * fnvPrime64
+	h.lo ^= uint64(b)
+	// 128-bit multiply modulo 2^128: (hi,lo) *= prime.
+	carryHi, lo := bits.Mul64(h.lo, fnvPrimeLo)
+	h.hi = carryHi + h.lo*fnvPrimeHi + h.hi*fnvPrimeLo
+	h.lo = lo
 }
 
 func (h *hasher) u64(v uint64) {
@@ -30,12 +78,13 @@ func (h *hasher) u64(v uint64) {
 	}
 }
 
-func (h *hasher) i64(v int64)     { h.u64(uint64(v)) }
-func (h *hasher) int(v int)       { h.u64(uint64(int64(v))) }
-func (h *hasher) f64(v float64)   { h.u64(math.Float64bits(v)) }
-func (h *hasher) bool(v bool)     { h.byte(b2b(v)) }
-func (h *hasher) reg(r ir.Reg)    { h.i64(int64(r)) }
-func (h *hasher) sum() uint64     { return uint64(*h) }
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) int(v int)     { h.u64(uint64(int64(v))) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+func (h *hasher) bool(v bool)   { h.byte(b2b(v)) }
+func (h *hasher) reg(r ir.Reg)  { h.i64(int64(r)) }
+func (h *hasher) sum() uint64   { return h.h64 }
+func (h *hasher) sum128() FP128 { return FP128{Hi: h.hi, Lo: h.lo} }
 
 func (h *hasher) str(s string) {
 	h.int(len(s))
@@ -229,11 +278,20 @@ func hashExpr(h *hasher, e ir.Expr) {
 // modifiers, code footprint, origin mapping, and (recursively) the callee
 // versions. The version's Label (the flag-set annotation) is deliberately
 // excluded: two flag sets that generate identical code get identical
-// fingerprints, which is what content dedup keys on.
+// fingerprints, which is what content dedup keys on. Fingerprint is the low
+// half of Fingerprint128 — adequate for per-process aliasing, while the
+// persistent store keys on the full 128 bits.
 func Fingerprint(v *sim.Version) uint64 {
+	return Fingerprint128(v).Lo
+}
+
+// Fingerprint128 is Fingerprint at full 128-bit width, the key the
+// persistent store (internal/store) addresses version bodies by across
+// restarts.
+func Fingerprint128(v *sim.Version) FP128 {
 	h := newHasher()
 	hashVersion(&h, v, 0)
-	return h.sum()
+	return h.sum128()
 }
 
 func hashVersion(h *hasher, v *sim.Version, depth int) {

@@ -21,6 +21,7 @@ package vcache
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"peak/internal/opt"
@@ -49,12 +50,20 @@ type codeKey struct {
 }
 
 type entry struct {
-	v  *sim.Version
-	fp uint64
+	v *sim.Version
+	// fp is the full 128-bit content fingerprint; the in-memory dedup map
+	// (byCode) aliases on fp.Lo only, the persistent store keys on all of
+	// it.
+	fp FP128
 	// shared marks entries whose code was first compiled under a different
 	// flag set (content-dedup alias). Recorded per key at insert time, so
 	// hits report the same value every time.
 	shared bool
+	// fromDisk marks entries installed by Preload from a persistent
+	// snapshot: they were resolved without compiling anything this process.
+	// The set is fixed at boot, so the mark — and the trace tier derived
+	// from it — is independent of scheduling.
+	fromDisk bool
 	// quarantined marks entries a tune's golden-output verification flagged
 	// as miscompiled (MarkQuarantined). Observability only: tunes verify
 	// every resolution themselves (the verdict is deterministic, so repeat
@@ -84,6 +93,11 @@ type Stats struct {
 	// Quarantined is the number of resident keys flagged as miscompiled by
 	// golden-output verification (MarkQuarantined).
 	Quarantined int64
+	// Preloaded is the number of resident keys installed from a persistent
+	// snapshot (Preload) rather than compiled this process; DiskHits the
+	// lookups those keys answered. Both stay zero without a store.
+	Preloaded int64
+	DiskHits  int64
 }
 
 // HitRate returns Hits ÷ Lookups as a fraction in [0, 1]. The zero-lookup
@@ -115,10 +129,12 @@ func (s Stats) FillMetrics(m *trace.Metrics) {
 	m.Add("vcache.hits", s.Hits)
 	m.Add("vcache.misses", s.Misses)
 	m.Add("vcache.shared", s.Shared)
+	m.Add("vcache.disk_hits", s.DiskHits)
 	m.Gauge("vcache.entries", s.Entries)
 	m.Gauge("vcache.versions", s.Versions)
 	m.Gauge("vcache.bytes", s.Bytes)
 	m.Gauge("vcache.quarantined", s.Quarantined)
+	m.Gauge("vcache.preloaded", s.Preloaded)
 }
 
 // Cache is a concurrency-safe compile cache. The zero value is not usable;
@@ -138,35 +154,50 @@ func New() *Cache {
 	}
 }
 
-// GetOrCompile returns the frozen version for key, invoking compile at most
-// once per distinct key. The returned fingerprint identifies the generated
-// code (Fingerprint); shared reports whether this key's code is aliased to
-// a Version first compiled under a different flag set.
+// Resolution is the outcome of one Resolve call: the frozen version, its
+// full content fingerprint, whether the key's code is aliased to a Version
+// first compiled under a different flag set, and whether the entry was
+// installed from a persistent snapshot (Preload) rather than compiled this
+// process.
+type Resolution struct {
+	V        *sim.Version
+	FP       FP128
+	Shared   bool
+	FromDisk bool
+}
+
+// Resolve returns the frozen version for key, invoking compile at most
+// once per distinct key.
 //
 // compile runs under the cache lock: concurrent requesters of the same key
 // block until the first finishes, so exactly one compilation happens and
 // the miss count equals the number of distinct keys — independent of
 // scheduling. Compile errors are returned and not cached.
-func (c *Cache) GetOrCompile(key Key, compile func() (*sim.Version, error)) (v *sim.Version, fp uint64, shared bool, err error) {
+func (c *Cache) Resolve(key Key, compile func() (*sim.Version, error)) (Resolution, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Lookups++
 	if e, ok := c.entries[key]; ok {
 		c.stats.Hits++
-		return e.v, e.fp, e.shared, nil
+		if e.fromDisk {
+			c.stats.DiskHits++
+		}
+		return Resolution{V: e.v, FP: e.fp, Shared: e.shared, FromDisk: e.fromDisk}, nil
 	}
 	c.stats.Misses++
 	nv, err := compile()
 	if err != nil {
-		return nil, 0, false, err
+		return Resolution{}, err
 	}
 	nv.Freeze()
-	nfp := Fingerprint(nv)
-	ck := codeKey{key.Prog, key.Fn, key.Machine, nfp}
+	nfp := Fingerprint128(nv)
+	ck := codeKey{key.Prog, key.Fn, key.Machine, nfp.Lo}
 	e, ok := c.byCode[ck]
 	if ok {
 		// Identical generated code under a different flag set: alias the
-		// existing frozen Version and drop the fresh compilation.
+		// existing frozen Version and drop the fresh compilation. The alias
+		// itself was compiled this process, so it is not fromDisk even when
+		// the body it aliases is.
 		c.stats.Shared++
 		e = &entry{v: e.v, fp: e.fp, shared: true}
 	} else {
@@ -177,7 +208,112 @@ func (c *Cache) GetOrCompile(key Key, compile func() (*sim.Version, error)) (v *
 	}
 	c.entries[key] = e
 	c.stats.Entries++
-	return e.v, e.fp, e.shared, nil
+	return Resolution{V: e.v, FP: e.fp, Shared: e.shared}, nil
+}
+
+// GetOrCompile is Resolve narrowed to the pre-store signature: the frozen
+// version, the low 64 fingerprint bits (Fingerprint), and the shared bit.
+func (c *Cache) GetOrCompile(key Key, compile func() (*sim.Version, error)) (v *sim.Version, fp uint64, shared bool, err error) {
+	r, err := c.Resolve(key, compile)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return r.V, r.FP.Lo, r.Shared, nil
+}
+
+// SnapshotEntry is one exported cache key: its full fingerprint addresses
+// the version body in Snapshot.Versions, Shared preserves the key's
+// content-dedup bit.
+type SnapshotEntry struct {
+	Key    Key
+	FP     FP128
+	Shared bool
+}
+
+// Snapshot is the cache's persistable content: every distinct version body
+// keyed by full fingerprint (callees included, each body counted once) and
+// every resident key as an alias into it. Quarantined keys are excluded —
+// a persistent store must never re-serve code that failed golden-output
+// verification as if it were clean.
+type Snapshot struct {
+	Versions map[FP128]*sim.Version
+	Entries  []SnapshotEntry
+}
+
+// Export snapshots the cache for persistence. Entries are sorted by
+// (Prog, Fn, Machine, Flags) so the snapshot — and any file written from
+// it — is byte-deterministic regardless of insertion order.
+func (c *Cache) Export() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sn := Snapshot{Versions: make(map[FP128]*sim.Version)}
+	for key, e := range c.entries {
+		if e.quarantined {
+			continue
+		}
+		sn.Entries = append(sn.Entries, SnapshotEntry{Key: key, FP: e.fp, Shared: e.shared})
+		addVersions(sn.Versions, e.v, e.fp)
+	}
+	sort.Slice(sn.Entries, func(i, j int) bool {
+		a, b := sn.Entries[i].Key, sn.Entries[j].Key
+		if a.Prog != b.Prog {
+			return a.Prog < b.Prog
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Flags < b.Flags
+	})
+	return sn
+}
+
+// addVersions registers v under fp and every callee under its own
+// fingerprint, transitively, each body once.
+func addVersions(dst map[FP128]*sim.Version, v *sim.Version, fp FP128) {
+	if _, ok := dst[fp]; ok {
+		return
+	}
+	dst[fp] = v
+	for _, cv := range v.Callees {
+		addVersions(dst, cv, Fingerprint128(cv))
+	}
+}
+
+// Preload installs a snapshot's entries (frozen versions loaded from a
+// persistent store) without touching the lookup counters, and returns how
+// many keys were installed. Keys already resident — and entries whose body
+// is missing from the snapshot — are skipped, so preloading composes with
+// a warm cache. Callers must pass verified, frozen versions; the store's
+// loader re-fingerprints every body before handing it here.
+func (c *Cache) Preload(sn Snapshot) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, se := range sn.Entries {
+		if _, ok := c.entries[se.Key]; ok {
+			continue
+		}
+		body, ok := sn.Versions[se.FP]
+		if !ok {
+			continue
+		}
+		ck := codeKey{se.Key.Prog, se.Key.Fn, se.Key.Machine, se.FP.Lo}
+		be, ok := c.byCode[ck]
+		if !ok {
+			be = &entry{v: body, fp: se.FP, fromDisk: true}
+			c.byCode[ck] = be
+			c.stats.Versions++
+			c.stats.Bytes += versionBytes(body, map[*sim.Version]bool{})
+		}
+		c.entries[se.Key] = &entry{v: be.v, fp: be.fp, shared: se.Shared, fromDisk: true}
+		c.stats.Entries++
+		c.stats.Preloaded++
+		n++
+	}
+	return n
 }
 
 // MarkQuarantined records that key's compilation failed golden-output
@@ -201,7 +337,13 @@ func (c *Cache) Quarantined(key Key) bool {
 	return ok && e.quarantined
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The snapshot is taken under
+// the same mutex every writer holds (Resolve, Preload, MarkQuarantined all
+// mutate c.stats inside c.mu), so the returned struct is always a
+// consistent point-in-time view — counters can never be torn against each
+// other (Lookups always equals Hits+Misses, for example), no matter how
+// many writers race the call. vcache_test.go's TestStatsConsistentUnderRace
+// exercises exactly that invariant under the race detector.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

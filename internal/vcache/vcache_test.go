@@ -195,6 +195,181 @@ func TestMarkQuarantined(t *testing.T) {
 	}
 }
 
+// TestProgramKeyValueFrozen pins the exact 64-bit ProgramKey values for two
+// workloads. These are not arbitrary: ProgramKey is embedded in the
+// fault-injection identity strings ("progKey/fn/flags/machine"), so any
+// change to the legacy 64-bit FNV-1a lane silently re-rolls every committed
+// fault draw (results_faults.txt and the quarantine-storm resilience test).
+// The 128-bit widening of Fingerprint must never leak into these values.
+func TestProgramKeyValueFrozen(t *testing.T) {
+	for name, want := range map[string]uint64{
+		"SWIM":  0x875c2d27974d18c6,
+		"MGRID": 0x42f927cccd34de9a,
+	} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %s not found", name)
+		}
+		if got := ProgramKey(b.Prog); got != want {
+			t.Errorf("ProgramKey(%s) = %#x, want %#x — the legacy 64-bit hash lane changed; this breaks fault-injection determinism", name, got, want)
+		}
+	}
+}
+
+// TestFingerprint128LoAliasesFingerprint pins the two-tier key contract:
+// the in-memory dedup path keys on the 64-bit Fingerprint, which must be
+// exactly the low half of the 128-bit fingerprint the persistent store
+// keys on — otherwise a preloaded body and its freshly compiled twin would
+// land in different byCode slots and dedup would silently stop working.
+func TestFingerprint128LoAliasesFingerprint(t *testing.T) {
+	_, compile := compileBench(t, "SWIM")
+	v, err := compile(opt.O3())()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint128(v)
+	if fp.IsZero() {
+		t.Fatal("Fingerprint128 returned zero for a real version")
+	}
+	if got := Fingerprint(v); got != fp.Lo {
+		t.Fatalf("Fingerprint = %#x, want low half of Fingerprint128 %s", got, fp)
+	}
+	if len(fp.String()) != 32 {
+		t.Fatalf("FP128.String() = %q, want 32 hex digits", fp.String())
+	}
+}
+
+// TestExportPreloadRoundTrip drives the warm-start path end to end in
+// memory: a populated cache is exported, preloaded into a fresh cache, and
+// every original key must resolve there as a disk hit without compiling
+// anything. Quarantined keys must not survive the round trip.
+func TestExportPreloadRoundTrip(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	warm := New()
+	flags := []opt.FlagSet{opt.O3()}
+	for _, f := range opt.AllFlags()[:6] {
+		flags = append(flags, opt.O3().Without(f))
+	}
+	want := make(map[opt.FlagSet]Resolution)
+	for _, fs := range flags {
+		r, err := warm.Resolve(key(fs), compile(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fs] = r
+	}
+	bad := key(flags[len(flags)-1])
+	warm.MarkQuarantined(bad)
+
+	sn := warm.Export()
+	if len(sn.Entries) != len(flags)-1 {
+		t.Fatalf("exported %d entries, want %d (quarantined key excluded)", len(sn.Entries), len(flags)-1)
+	}
+	for _, se := range sn.Entries {
+		if se.Key == bad {
+			t.Fatal("quarantined key leaked into the snapshot")
+		}
+		if se.FP.IsZero() {
+			t.Fatalf("entry %+v exported with zero fingerprint", se.Key)
+		}
+	}
+
+	cold := New()
+	if n := cold.Preload(sn); n != len(sn.Entries) {
+		t.Fatalf("Preload installed %d keys, want %d", n, len(sn.Entries))
+	}
+	if st := cold.Stats(); st.Lookups != 0 || st.Misses != 0 || st.Preloaded != int64(len(sn.Entries)) {
+		t.Fatalf("post-preload stats = %+v, want 0 lookups / 0 misses / %d preloaded", st, len(sn.Entries))
+	}
+	for _, fs := range flags[:len(flags)-1] {
+		r, err := cold.Resolve(key(fs), func() (*sim.Version, error) {
+			t.Fatalf("flags %v recompiled despite preload", fs)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.FromDisk {
+			t.Errorf("flags %v: preloaded key resolved with FromDisk=false", fs)
+		}
+		if r.FP != want[fs].FP || r.Shared != want[fs].Shared || r.V != want[fs].V {
+			t.Errorf("flags %v: round trip changed resolution: got {fp %s shared %v}, want {fp %s shared %v}", fs, r.FP, r.Shared, want[fs].FP, want[fs].Shared)
+		}
+	}
+	st := cold.Stats()
+	if st.DiskHits != int64(len(flags)-1) {
+		t.Errorf("DiskHits = %d, want %d", st.DiskHits, len(flags)-1)
+	}
+	// Preloading again is a no-op on resident keys.
+	if n := cold.Preload(sn); n != 0 {
+		t.Errorf("second Preload installed %d keys, want 0", n)
+	}
+}
+
+// TestStatsConsistentUnderRace is the satellite audit of Stats()
+// snapshotting: with compilers and preloaders racing readers, every Stats
+// snapshot must be internally consistent — Lookups == Hits+Misses and
+// Entries >= Versions at all times — because the snapshot is taken under
+// the same mutex every writer holds. Run under -race this also proves the
+// counters are never written outside the lock.
+func TestStatsConsistentUnderRace(t *testing.T) {
+	key, compile := compileBench(t, "SWIM")
+	c := New()
+	flags := []opt.FlagSet{opt.O3()}
+	for _, f := range opt.AllFlags()[:8] {
+		flags = append(flags, opt.O3().Without(f))
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				for _, fs := range flags {
+					if _, err := c.Resolve(key(fs), compile(fs)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := c.Stats()
+				if st.Lookups != st.Hits+st.Misses {
+					t.Errorf("torn stats: lookups %d != hits %d + misses %d", st.Lookups, st.Hits, st.Misses)
+					return
+				}
+				if st.Versions > st.Entries {
+					t.Errorf("torn stats: versions %d > entries %d", st.Versions, st.Entries)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	st := c.Stats()
+	if st.Lookups != int64(4*3*len(flags)) {
+		t.Fatalf("final lookups = %d, want %d", st.Lookups, 4*3*len(flags))
+	}
+	if st.Misses != int64(len(flags)) {
+		t.Fatalf("final misses = %d, want %d (one compile per distinct key)", st.Misses, len(flags))
+	}
+}
+
 // TestHitRateZeroLookups pins the fresh-cache stats path the serve /stats
 // endpoint exercises before any job has run: HitRate must be exactly 0
 // (never NaN, which json.Marshal rejects), Summary must render finite
